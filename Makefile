@@ -1,0 +1,28 @@
+# Development workflow for the Streaming Balanced Clustering reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench examples lint clean
+
+install:
+	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/ -q
+
+test-verbose:
+	$(PYTHON) -m pytest tests/ -v
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+examples:
+	for f in examples/*.py; do echo "== $$f"; $(PYTHON) $$f || exit 1; done
+
+artifacts:
+	$(PYTHON) -m pytest tests/ 2>&1 | tee test_output.txt
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
+
+clean:
+	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache
+	find . -name __pycache__ -type d -exec rm -rf {} +

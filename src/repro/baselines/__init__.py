@@ -1,0 +1,19 @@
+"""Baselines the introduction positions the paper against.
+
+- :mod:`repro.baselines.uniform_coreset` — uniform sampling with inverse-
+  probability weights: the naive sketch, which misses small-but-expensive
+  clusters and breaks the capacitated guarantee;
+- :mod:`repro.baselines.sensitivity_coreset` — a standard *uncapacitated*
+  k-means/k-median coreset (sensitivity sampling à la Feldman-Langberg /
+  Chen): excellent for cost^(r)(Q, Z) but with no per-assignment guarantee,
+  hence no capacitated guarantee;
+- :mod:`repro.baselines.bblm14` — a three-pass, insertion-only mapping-
+  coreset pipeline in the spirit of [BBLM14], "the only previously known
+  streaming approximation algorithm" for capacitated clustering.
+"""
+
+from repro.baselines.uniform_coreset import uniform_coreset
+from repro.baselines.sensitivity_coreset import sensitivity_coreset
+from repro.baselines.bblm14 import ThreePassMappingCoreset
+
+__all__ = ["uniform_coreset", "sensitivity_coreset", "ThreePassMappingCoreset"]

@@ -1,0 +1,119 @@
+"""Three-pass insertion-only baseline in the spirit of [BBLM14].
+
+"The only previously known streaming approximation algorithm for capacitated
+clustering requires three passes and only handles insertions" (§1).  The
+[BBLM14] approach is a *mapping coreset*: map every point to a nearby
+representative, remember only representatives with multiplicities, and solve
+the capacitated problem on the weighted representatives (capacities
+transfer because the mapping moves each point a bounded distance).
+
+Our rendition keeps the three-pass, insertion-only shape:
+
+- **pass 1** — reservoir-sample ``pool`` points (uniform over the stream);
+  seed ``m`` representatives with k-means++ on the reservoir;
+- **pass 2** — map each streamed point to its nearest representative,
+  accumulating multiplicities (the mapping coreset);
+- **pass 3** — recompute the exact mapping cost (the certificate the
+  analysis of [BBLM14] needs) and finalize weights.
+
+``update`` raises on deletions — that is the point of the comparison:
+experiment E6/E4 contrasts this against the paper's one-pass dynamic
+algorithm.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.weighted import WeightedPointSet
+from repro.metrics.distances import nearest_center
+from repro.solvers.kmeanspp import kmeans_plusplus
+from repro.streaming.stream import DELETE, INSERT, StreamEvent
+from repro.utils.rng import as_rng, derive_seed
+
+__all__ = ["ThreePassMappingCoreset"]
+
+
+class ThreePassMappingCoreset:
+    """Insertion-only, three-pass mapping coreset for capacitated clustering."""
+
+    def __init__(self, k: int, num_representatives: int, pool: int = 2048,
+                 r: float = 2.0, seed: int = 0):
+        self.k = int(k)
+        self.m = int(num_representatives)
+        self.pool = int(pool)
+        self.r = float(r)
+        self.seed = int(seed)
+        self._pass = 0
+        self._reservoir: list[tuple] = []
+        self._seen = 0
+        self._rng = as_rng(derive_seed(self.seed, "reservoir"))
+        self.representatives: np.ndarray | None = None
+        self._weights: np.ndarray | None = None
+        self.mapping_cost = 0.0
+
+    # -- pass control -----------------------------------------------------------
+    def start_pass(self, number: int) -> None:
+        """Begin pass 1, 2, or 3 (must be called in order)."""
+        if number != self._pass + 1:
+            raise ValueError(f"passes must run in order; expected {self._pass + 1}")
+        self._pass = number
+        if number == 2:
+            if not self._reservoir:
+                raise RuntimeError("pass 1 saw no points")
+            sample = np.asarray(self._reservoir, dtype=np.float64)
+            m = min(self.m, len(sample))
+            self.representatives = kmeans_plusplus(
+                sample, m, r=self.r, seed=derive_seed(self.seed, "seeding"))
+            self._weights = np.zeros(self.representatives.shape[0])
+        if number == 3:
+            self.mapping_cost = 0.0
+
+    def update(self, event: StreamEvent) -> None:
+        """Feed one stream event to the current pass."""
+        if event.sign == DELETE:
+            raise NotImplementedError(
+                "BBLM14-style mapping coresets are insertion-only; deletions "
+                "are exactly what the paper's one-pass algorithm adds"
+            )
+        assert event.sign == INSERT
+        row = np.asarray(event.point, dtype=np.float64)[None, :]
+        if self._pass == 1:
+            self._seen += 1
+            if len(self._reservoir) < self.pool:
+                self._reservoir.append(event.point)
+            else:
+                j = int(self._rng.integers(self._seen))
+                if j < self.pool:
+                    self._reservoir[j] = event.point
+        elif self._pass == 2:
+            lab, _ = nearest_center(row, self.representatives, self.r)
+            self._weights[int(lab[0])] += 1.0
+        elif self._pass == 3:
+            _, dr = nearest_center(row, self.representatives, self.r)
+            self.mapping_cost += float(dr[0])
+        else:
+            raise RuntimeError("call start_pass(1) first")
+
+    def run(self, stream) -> WeightedPointSet:
+        """Convenience: replay an (insertion-only) stream three times."""
+        for p in (1, 2, 3):
+            self.start_pass(p)
+            for ev in stream:
+                self.update(ev)
+        return self.result()
+
+    def result(self) -> WeightedPointSet:
+        """The weighted representative set (pass ≥ 2 must have run)."""
+        if self.representatives is None:
+            raise RuntimeError("run passes 1-2 first")
+        keep = self._weights > 0
+        return WeightedPointSet(
+            points=np.rint(self.representatives[keep]).astype(np.int64),
+            weights=self._weights[keep],
+        )
+
+    @property
+    def passes_used(self) -> int:
+        """How many passes over the stream have run (the claim is 3)."""
+        return self._pass

@@ -1,0 +1,29 @@
+"""Uniform-sampling baseline.
+
+Sample m points uniformly without replacement, weight each by n/m.  The
+expected weighted cost of any fixed assignment is unbiased, but the variance
+scales with the full cost spread, so clusters that are small in count yet
+large in cost are routinely missed — the failure mode experiment E6
+demonstrates against the paper's construction at equal size.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.weighted import WeightedPointSet
+from repro.utils.rng import as_rng
+
+__all__ = ["uniform_coreset"]
+
+
+def uniform_coreset(points: np.ndarray, size: int, seed=0) -> WeightedPointSet:
+    """m uniform samples with weight n/m each."""
+    pts = np.asarray(points)
+    n = pts.shape[0]
+    m = int(min(size, n))
+    if m <= 0:
+        raise ValueError("size must be positive")
+    rng = as_rng(seed)
+    idx = rng.choice(n, size=m, replace=False)
+    return WeightedPointSet(points=pts[idx], weights=np.full(m, n / m))

@@ -1,0 +1,236 @@
+"""Command-line interface: ``python -m repro.cli <command>``.
+
+Subcommands
+-----------
+``generate``   write a synthetic point set (.npy) in [Δ]^d
+``build``      build a strong coreset from a .npy point set → .npz
+``stream``     replay a churn stream over a point set and build the coreset
+               with the one-pass dynamic algorithm
+``evaluate``   check the strong-coreset sandwich of a saved coreset
+``solve``      balanced k-clustering on a saved coreset (optionally extend
+               the assignment to the original points)
+``info``       print a saved coreset's provenance
+
+Every command is seeded and prints exactly what it did; these are the same
+code paths the library exposes, so the CLI doubles as an end-to-end smoke
+test of the installation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import sys
+import time
+
+import numpy as np
+
+from repro.core import CoresetParams, build_coreset_auto
+from repro.core.io import load_coreset, save_coreset
+from repro.utils.tables import render_table
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for all subcommands."""
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="Streaming Balanced Clustering — capacitated-coreset toolkit",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    g = sub.add_parser("generate", help="generate a synthetic point set")
+    g.add_argument("output", help="output .npy path")
+    g.add_argument("--n", type=int, default=10000)
+    g.add_argument("--d", type=int, default=3)
+    g.add_argument("--delta", type=int, default=1024)
+    g.add_argument("--k", type=int, default=4)
+    g.add_argument("--kind", choices=["mixture", "unbalanced", "uniform", "outliers"],
+                   default="mixture")
+    g.add_argument("--seed", type=int, default=0)
+
+    b = sub.add_parser("build", help="build a strong coreset (Theorem 3.19)")
+    b.add_argument("points", help="input .npy of (n, d) ints in [1, delta]")
+    b.add_argument("output", help="output coreset .npz")
+    b.add_argument("--k", type=int, required=True)
+    b.add_argument("--delta", type=int, required=True)
+    b.add_argument("--r", type=float, default=2.0)
+    b.add_argument("--eps", type=float, default=0.25)
+    b.add_argument("--eta", type=float, default=0.25)
+    b.add_argument("--seed", type=int, default=7)
+
+    s = sub.add_parser("stream", help="one-pass dynamic-stream coreset (Thm 4.5)")
+    s.add_argument("points", help="input .npy")
+    s.add_argument("output", help="output coreset .npz")
+    s.add_argument("--k", type=int, required=True)
+    s.add_argument("--delta", type=int, required=True)
+    s.add_argument("--delete-fraction", type=float, default=0.3)
+    s.add_argument("--backend", choices=["exact", "sketch"], default="exact")
+    s.add_argument("--eps", type=float, default=0.25)
+    s.add_argument("--eta", type=float, default=0.25)
+    s.add_argument("--seed", type=int, default=7)
+
+    e = sub.add_parser("evaluate", help="verify the strong-coreset sandwich")
+    e.add_argument("points", help="original .npy point set")
+    e.add_argument("coreset", help="coreset .npz (with saved params)")
+    e.add_argument("--centers", type=int, default=3,
+                   help="number of random/k-means++ center sets to test")
+    e.add_argument("--seed", type=int, default=3)
+
+    v = sub.add_parser("solve", help="balanced k-clustering on a coreset")
+    v.add_argument("coreset", help="coreset .npz (with saved params)")
+    v.add_argument("--capacity-slack", type=float, default=1.1)
+    v.add_argument("--seed", type=int, default=5)
+
+    i = sub.add_parser("info", help="print a saved coreset's provenance")
+    i.add_argument("coreset")
+    return p
+
+
+def _cmd_generate(args) -> int:
+    from repro.data.synthetic import (
+        clustered_with_outliers,
+        gaussian_mixture,
+        unbalanced_mixture,
+        uniform_points,
+    )
+
+    gen = {
+        "mixture": lambda: gaussian_mixture(args.n, args.d, args.delta, args.k,
+                                            seed=args.seed),
+        "unbalanced": lambda: unbalanced_mixture(args.n, args.d, args.delta,
+                                                 args.k, seed=args.seed),
+        "uniform": lambda: uniform_points(args.n, args.d, args.delta,
+                                          seed=args.seed),
+        "outliers": lambda: clustered_with_outliers(args.n, args.d, args.delta,
+                                                    args.k, seed=args.seed),
+    }[args.kind]
+    pts = np.unique(gen(), axis=0)
+    np.save(args.output, pts)
+    print(f"wrote {len(pts)} distinct points to {args.output}")
+    return 0
+
+
+def _cmd_build(args) -> int:
+    pts = np.load(args.points)
+    params = CoresetParams.practical(k=args.k, d=pts.shape[1], delta=args.delta,
+                                     r=args.r, eps=args.eps, eta=args.eta)
+    t0 = time.time()
+    cs = build_coreset_auto(pts, params, seed=args.seed)
+    save_coreset(args.output, cs, params)
+    print(f"coreset: {len(cs)} points ({len(pts) / max(len(cs), 1):.1f}x), "
+          f"o={cs.o:.3g}, {time.time() - t0:.2f}s -> {args.output}")
+    return 0
+
+
+def _cmd_stream(args) -> int:
+    from repro.data.workloads import churn_stream
+    from repro.solvers.pilot import estimate_opt_cost
+    from repro.streaming import StreamingCoreset, materialize
+
+    pts = np.load(args.points)
+    params = CoresetParams.practical(k=args.k, d=pts.shape[1], delta=args.delta,
+                                     eps=args.eps, eta=args.eta)
+    stream = churn_stream(pts, delete_fraction=args.delete_fraction,
+                          seed=args.seed)
+    survivors = materialize(stream, d=pts.shape[1])
+    pilot = estimate_opt_cost(survivors, args.k, r=2.0, seed=args.seed)
+    sc = StreamingCoreset(params, seed=args.seed, backend=args.backend,
+                          o_range=(pilot / 64, pilot / 4))
+    t0 = time.time()
+    sc.process(stream)
+    cs = sc.finalize()
+    save_coreset(args.output, cs, params)
+    print(f"stream: {len(stream)} events ({stream.num_deletions()} deletions), "
+          f"{len(survivors)} survivors")
+    print(f"coreset: {len(cs)} points, o={cs.o:.3g}, "
+          f"{time.time() - t0:.2f}s -> {args.output}")
+    return 0
+
+
+def _cmd_evaluate(args) -> int:
+    from repro.metrics.evaluation import evaluate_coreset_quality
+    from repro.solvers.kmeanspp import kmeans_plusplus
+
+    pts = np.load(args.points)
+    cs, params = load_coreset(args.coreset)
+    if params is None:
+        print("coreset was saved without parameters; cannot evaluate",
+              file=sys.stderr)
+        return 2
+    n = len(pts)
+    rng = np.random.default_rng(args.seed)
+    Zs = [kmeans_plusplus(pts.astype(float), params.k, r=params.r, seed=args.seed)]
+    for _ in range(max(0, args.centers - 1)):
+        Zs.append(rng.integers(1, params.delta + 1,
+                               size=(params.k, pts.shape[1])).astype(float))
+    caps = [n / params.k, 1.5 * n / params.k, math.inf]
+    rep = evaluate_coreset_quality(pts, cs, Zs, caps, r=params.r,
+                                   eps=params.eps, eta=params.eta)
+    rows = [[f"{e.t:.0f}", f"{e.full_cost:.4g}", f"{e.coreset_cost:.4g}",
+             f"{max(e.upper_ratio, e.lower_ratio):.4f}"] for e in rep.entries]
+    print(render_table("strong-coreset sandwich",
+                       ["t", "cost_t(Q,Z)", "cost_(1+η)t(Q',Z,w')", "ratio"],
+                       rows))
+    verdict = "PASS" if rep.holds() else "FAIL"
+    print(f"worst ratio {rep.worst_ratio:.4f} vs bound {1 + params.eps:.2f}: {verdict}")
+    return 0 if rep.holds() else 1
+
+
+def _cmd_solve(args) -> int:
+    from repro.solvers import CapacitatedKClustering
+
+    cs, params = load_coreset(args.coreset)
+    if params is None:
+        print("coreset was saved without parameters; cannot solve",
+              file=sys.stderr)
+        return 2
+    cap = cs.total_weight / params.k * args.capacity_slack
+    solver = CapacitatedKClustering(k=params.k, capacity=cap, r=params.r,
+                                    seed=args.seed)
+    sol = solver.fit(cs.points.astype(float), weights=cs.weights)
+    print(render_table(
+        "balanced clustering on the coreset",
+        ["center", "coordinates", "load"],
+        [[i, np.array2string(np.round(z, 1)), f"{sol.sizes[i]:.0f}"]
+         for i, z in enumerate(sol.centers)],
+    ))
+    print(f"cost {sol.cost:.5g}, max load / capacity = {sol.max_violation():.3f}")
+    return 0
+
+
+def _cmd_info(args) -> int:
+    cs, params = load_coreset(args.coreset)
+    levels = sorted({p.level for p in cs.parts})
+    print(render_table(
+        "coreset",
+        ["field", "value"],
+        [["points", len(cs)],
+         ["total weight", f"{cs.total_weight:.1f}"],
+         ["input size", cs.input_size],
+         ["accepted guess o", f"{cs.o:.4g}"],
+         ["delta", cs.delta],
+         ["parts", len(cs.parts)],
+         ["levels used", levels],
+         ["storage bits", cs.storage_bits()],
+         ["params", "saved" if params else "absent"]],
+    ))
+    return 0
+
+
+def main(argv=None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return {
+        "generate": _cmd_generate,
+        "build": _cmd_build,
+        "stream": _cmd_stream,
+        "evaluate": _cmd_evaluate,
+        "solve": _cmd_solve,
+        "info": _cmd_info,
+    }[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,32 @@
+"""The paper's primary contribution: strong coresets for capacitated k-clustering.
+
+- :mod:`repro.core.params` — all theory constants (γ, ξ, λ, T_i, φ_i, FAIL
+  bounds) in one dataclass, with the paper's exact formulas
+  (`CoresetParams.from_theory`) and a calibrated practical regime
+  (`CoresetParams.practical`).
+- :mod:`repro.core.partition` — Algorithm 1 (heavy-cell partitioning).
+- :mod:`repro.core.estimators` — Algorithm 3 (size estimation via sampling).
+- :mod:`repro.core.halfspace` — curved half-spaces, regions, transferred
+  assignments (Definitions 2.2, 3.7, 3.10, 3.11; Lemmas 3.8, 3.12).
+- :mod:`repro.core.coreset` — Algorithm 2 and the guess-`o` driver of
+  Theorem 3.19.
+- :mod:`repro.core.weighted` — the weighted coreset object.
+"""
+
+from repro.core.params import CoresetParams
+from repro.core.weighted import WeightedPointSet, Coreset
+from repro.core.partition import HeavyCellPartition, partition_heavy_cells
+from repro.core.coreset import build_coreset, build_coreset_auto
+from repro.core.estimators import ExactCounts, SampledCounts
+
+__all__ = [
+    "CoresetParams",
+    "WeightedPointSet",
+    "Coreset",
+    "HeavyCellPartition",
+    "partition_heavy_cells",
+    "build_coreset",
+    "build_coreset_auto",
+    "ExactCounts",
+    "SampledCounts",
+]

@@ -1,0 +1,242 @@
+"""Algorithm 2 — the strong coreset construction — and its guess-o driver.
+
+Given a guess ``o`` of the optimal *uncapacitated* ℓr k-clustering cost,
+Algorithm 2:
+
+1. partitions Q into parts Q_{i,j} via heavy cells (Algorithm 1);
+2. FAILs if there are too many heavy cells or too much per-level mass
+   (both only happen when ``o`` underestimates OPT — Lemma 3.18);
+3. drops parts with estimated size below γ·T_i(o) (their removal changes any
+   capacitated cost by at most (1+ε) with (1+η) capacity slack — Lemma 3.4);
+4. samples each retained part λ-wise independently at rate φ_i and weights
+   every sample by 1/φ_i.
+
+Theorem 3.19 turns this into an algorithm without knowledge of OPT by
+enumerating o ∈ {1, 2, 4, …, n(√dΔ)^r} and keeping the smallest guess that
+does not FAIL; :func:`build_coreset_auto` implements exactly that (with an
+optional pilot estimate to skip hopeless guesses — every skipped guess is one
+that provably FAILs).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.estimators import ExactCounts, SampledCounts
+from repro.core.params import CoresetParams
+from repro.core.partition import HeavyCellPartition, partition_heavy_cells
+from repro.core.weighted import Coreset, PartInfo
+from repro.grid.grids import HierarchicalGrids
+from repro.hashing.kwise import BernoulliHash
+from repro.utils.rng import derive_seed
+from repro.utils.validation import FailedConstruction, check_points
+
+__all__ = ["build_coreset", "build_coreset_auto", "CoresetBuildError"]
+
+
+class CoresetBuildError(RuntimeError):
+    """Raised when no guess in the enumeration yields a coreset."""
+
+
+def build_coreset(
+    points: np.ndarray,
+    params: CoresetParams,
+    o: float,
+    grids: HierarchicalGrids | None = None,
+    seed: int = 0,
+    use_sampled_counts: bool = False,
+) -> Coreset:
+    """Run Algorithm 2 for a fixed guess ``o``.
+
+    Raises :class:`FailedConstruction` when the algorithm outputs FAIL.
+
+    Parameters
+    ----------
+    use_sampled_counts:
+        When True, all sizes are estimated via Algorithm 3 sampling (the
+        streaming-faithful mode); when False, exact counts are used (what an
+        offline implementation can afford).
+    """
+    pts = check_points(points, params.delta)
+    n = pts.shape[0]
+    if grids is None:
+        grids = HierarchicalGrids(params.delta, params.d, seed=derive_seed(seed, "grids"))
+    counts = (
+        SampledCounts(pts, params, o, grids, seed=derive_seed(seed, "alg3"))
+        if use_sampled_counts
+        else ExactCounts(n)
+    )
+
+    # --- Algorithm 1 + FAIL check on Σ s_i (Algorithm 2 lines 4-5). --------
+    partition = partition_heavy_cells(
+        pts, params, o, grids, counts=counts, max_heavy=params.max_heavy_cells()
+    )
+    if n > 0 and not partition.heavy_keys.get(-1):
+        # Fact A.1: the root is heavy for any o ≤ OPT; an un-heavy root means
+        # the guess overshot and the whole input would be dropped.
+        raise FailedConstruction(f"root cell not heavy (guess o={o:g} too large)")
+    if partition.total_heavy > params.max_heavy_cells():
+        raise FailedConstruction(
+            f"sum of heavy-cell counts {partition.total_heavy} exceeds "
+            f"{params.max_heavy_cells():.0f} (o={o:g})"
+        )
+
+    # --- per-level mass FAIL check (Algorithm 2 line 6). -------------------
+    level_parts: dict[int, list[int]] = {}
+    for pid, part in enumerate(partition.parts):
+        level_parts.setdefault(part.level, []).append(pid)
+    for level, pids in level_parts.items():
+        mask = counts.mask_parts(level)
+        rate = counts.rate_parts(level)
+        level_mass = sum(
+            float(mask[partition.parts[pid].point_idx].sum()) for pid in pids
+        ) / rate
+        if level_mass > params.max_level_mass(level, o):
+            raise FailedConstruction(
+                f"level {level} mass estimate {level_mass:.1f} exceeds "
+                f"{params.max_level_mass(level, o):.1f} (o={o:g})"
+            )
+
+    # --- part retention + sampling (Algorithm 2 lines 7-12). ---------------
+    point_keys = grids.point_keys(pts)
+    sel_points: list[np.ndarray] = []
+    sel_weights: list[np.ndarray] = []
+    sel_part_ids: list[np.ndarray] = []
+    parts_info: list[PartInfo] = []
+
+    for level in sorted(level_parts):
+        phi = params.phi(level, o)
+        cutoff = params.small_part_cutoff(level, o)
+        # Constructing the λ-wise hash draws λ field coefficients; with the
+        # paper's λ ≈ 10⁸ that's only affordable because φ = 1 there and the
+        # sampler is never consulted — so build it lazily.
+        sampler = None
+        if phi < 1.0:
+            sampler = BernoulliHash(
+                phi=phi,
+                independence=params.lam,
+                universe_bits=grids.point_codec.universe_bits,
+                seed=derive_seed(seed, f"alg2-hhat-{level}"),
+            )
+        for pid in level_parts[level]:
+            part = partition.parts[pid]
+            if part.size_estimate < cutoff:
+                continue  # dropped small part (Lemma 3.4)
+            info_id = len(parts_info)
+            parts_info.append(
+                PartInfo(
+                    level=level,
+                    parent_cell_key=int(part.parent_cell_key)
+                    if not isinstance(part.parent_cell_key, np.ndarray)
+                    else int(part.parent_cell_key),
+                    size_estimate=part.size_estimate,
+                    phi=phi,
+                )
+            )
+            idx = part.point_idx
+            if phi >= 1.0:
+                chosen = idx
+            else:
+                mask = sampler.select([int(k) for k in point_keys[idx]])
+                chosen = idx[mask]
+            if chosen.size == 0:
+                continue
+            sel_points.append(pts[chosen])
+            sel_weights.append(np.full(chosen.size, 1.0 / phi))
+            sel_part_ids.append(np.full(chosen.size, info_id, dtype=np.int64))
+
+    if sel_points:
+        q_points = np.concatenate(sel_points, axis=0)
+        q_weights = np.concatenate(sel_weights)
+        q_part_ids = np.concatenate(sel_part_ids)
+    else:
+        q_points = np.empty((0, pts.shape[1]), dtype=np.int64)
+        q_weights = np.empty(0)
+        q_part_ids = np.empty(0, dtype=np.int64)
+
+    return Coreset(
+        points=q_points,
+        weights=q_weights,
+        part_ids=q_part_ids,
+        parts=parts_info,
+        o=float(o),
+        delta=params.delta,
+        input_size=n,
+    )
+
+
+def build_coreset_auto(
+    points: np.ndarray,
+    params: CoresetParams,
+    grids: HierarchicalGrids | None = None,
+    seed: int = 0,
+    use_sampled_counts: bool = False,
+    pilot_cost: "float | str | None" = "auto",
+) -> Coreset:
+    """Theorem 3.19: enumerate guesses o and return a non-FAIL coreset.
+
+    With ``pilot_cost=None``, this is exactly the theorem's rule: enumerate
+    o ∈ {1, 2, 4, …} upward and keep the *smallest* non-FAIL guess (a guess
+    ≤ OPT, which is the correctness requirement of Lemma 3.17).  The default
+    ``"auto"`` first computes a k-means++ pilot (an upper bound on OPT) and
+    descends from it — same guarantee, far better compression, matching the
+    streaming algorithm's use of a parallel OPT estimate.
+
+    With ``pilot_cost`` — an upper bound on OPT, e.g. the uncapacitated cost
+    of a k-means++ solution — the search instead descends from
+    ``pilot_cost`` by halving until a guess succeeds.  This mirrors the
+    streaming variant (Theorem 4.5), which uses a parallel 2-approximation
+    of OPT to pick o ∈ [OPT/10, OPT]: a larger (but still ≤ OPT) accepted
+    guess yields coarser parts and hence a *smaller* coreset for the same
+    guarantee.
+    """
+    pts = check_points(points, params.delta)
+    n = pts.shape[0]
+    if n == 0:
+        return Coreset(
+            points=np.empty((0, pts.shape[1]), dtype=np.int64),
+            weights=np.empty(0),
+            o=1.0,
+            delta=params.delta,
+            input_size=0,
+        )
+    if grids is None:
+        grids = HierarchicalGrids(params.delta, params.d, seed=derive_seed(seed, "grids"))
+
+    if isinstance(pilot_cost, str):
+        if pilot_cost != "auto":
+            raise ValueError(f"pilot_cost must be a number, None, or 'auto', got {pilot_cost!r}")
+        from repro.solvers.pilot import estimate_opt_cost
+
+        pilot_cost = estimate_opt_cost(pts, params.k, r=params.r,
+                                       seed=derive_seed(seed, "pilot"))
+
+    last_reason = "no guesses attempted"
+    if pilot_cost is not None and pilot_cost > 0:
+        # The pilot is an upper bound on OPT (cost of some feasible solution,
+        # typically within a small factor of OPT); Lemma 3.17 needs o ≤ OPT,
+        # so descend from pilot/8 — the analogue of the streaming rule
+        # o ∈ [OPT/10, OPT] chosen from a 2-approximation.  Guesses below 1
+        # are pointless (costs are integers-ish in [Δ]^d), so clamp.
+        o = max(1.0, float(pilot_cost) / 8.0)
+        while o >= 0.5:
+            try:
+                return build_coreset(
+                    pts, params, o, grids=grids, seed=seed,
+                    use_sampled_counts=use_sampled_counts,
+                )
+            except FailedConstruction as exc:
+                last_reason = exc.reason
+                o /= 2.0
+    else:
+        for o in params.guesses(n):
+            try:
+                return build_coreset(
+                    pts, params, o, grids=grids, seed=seed,
+                    use_sampled_counts=use_sampled_counts,
+                )
+            except FailedConstruction as exc:
+                last_reason = exc.reason
+    raise CoresetBuildError(
+        f"every guess o failed; last failure: {last_reason}"
+    )

@@ -1,0 +1,119 @@
+"""Size estimation via sampling (Algorithm 3).
+
+Algorithms 1 and 2 never need exact cell/part sizes — only estimates that
+are "good" in the sense of Definitions 3.1 and 3.5 (small additive error
+relative to the level threshold, or small relative error).  Algorithm 3
+obtains them by counting λ'-wise independently subsampled points:
+
+    τ(C ∩ Q)      = (1/ψ_i)  · Σ_{p ∈ C∩Q}  h_i(p),    ψ_i  ∝ λ'/T_i(o)
+    τ(Q_{i,j})    = (1/ψ'_i) · Σ_{p ∈ Q_ij} h'_i(p),   ψ'_i ∝ λ'/(γT_i(o))
+
+This module provides the two interchangeable *count providers* used by the
+offline construction: :class:`ExactCounts` (rate 1 — what an offline
+implementation can afford, per the remark above Lemma 3.17) and
+:class:`SampledCounts` (the Algorithm 3 estimators; also the ones the
+streaming implementation in :mod:`repro.streaming` reproduces via sketches).
+
+Both expose the same interface: a per-level Bernoulli *mask* over the input
+points plus its sampling ``rate``; callers divide sampled counts by the rate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.params import CoresetParams
+from repro.grid.grids import HierarchicalGrids
+from repro.hashing.kwise import BernoulliHash
+from repro.utils.rng import derive_seed
+
+__all__ = ["ExactCounts", "SampledCounts"]
+
+
+class ExactCounts:
+    """Count provider with exact counts (sampling rate 1 at every level)."""
+
+    def __init__(self, num_points: int):
+        self._mask = np.ones(int(num_points), dtype=bool)
+
+    def rate_cells(self, level: int) -> float:
+        """Sampling rate of the cell-count mask (1: exact counting)."""
+        return 1.0
+
+    def mask_cells(self, level: int) -> np.ndarray:
+        """All-true mask (every point counted)."""
+        return self._mask
+
+    def rate_parts(self, level: int) -> float:
+        """Sampling rate of the part-size mask (1: exact counting)."""
+        return 1.0
+
+    def mask_parts(self, level: int) -> np.ndarray:
+        """All-true mask (every point counted)."""
+        return self._mask
+
+    @property
+    def randomness_bits(self) -> int:
+        """Exact counting stores no randomness."""
+        return 0
+
+
+class SampledCounts:
+    """Algorithm 3's estimators, evaluated offline over the point array.
+
+    Masks are λ'-wise independent in the *point identity* (via the injective
+    point key), so duplicated runs over the same input reproduce the same
+    sample — the property the streaming implementation relies on.
+    """
+
+    def __init__(
+        self,
+        points: np.ndarray,
+        params: CoresetParams,
+        o: float,
+        grids: HierarchicalGrids,
+        seed: int = 0,
+    ):
+        self.params = params
+        self.o = float(o)
+        self._keys = grids.point_keys(points)
+        self._universe_bits = grids.point_codec.universe_bits
+        self._seed = int(seed)
+        self._cell_masks: dict[int, np.ndarray] = {}
+        self._part_masks: dict[int, np.ndarray] = {}
+        self._bits = 0
+
+    def _mask_for(self, level: int, rate: float, tag: str) -> np.ndarray:
+        h = BernoulliHash(
+            phi=rate,
+            independence=self.params.lam_est,
+            universe_bits=self._universe_bits,
+            seed=derive_seed(self._seed, f"alg3-{tag}-{level}"),
+        )
+        self._bits += h.randomness_bits
+        return h.select(list(self._keys))
+
+    def rate_cells(self, level: int) -> float:
+        """ψ_i — Algorithm 3's cell-count sampling rate."""
+        return self.params.psi(level, self.o)
+
+    def mask_cells(self, level: int) -> np.ndarray:
+        """λ'-wise independent Bernoulli(ψ_i) mask over the points."""
+        if level not in self._cell_masks:
+            self._cell_masks[level] = self._mask_for(level, self.rate_cells(level), "h")
+        return self._cell_masks[level]
+
+    def rate_parts(self, level: int) -> float:
+        """ψ'_i — Algorithm 3's part-size sampling rate."""
+        return self.params.psi_part(level, self.o)
+
+    def mask_parts(self, level: int) -> np.ndarray:
+        """λ'-wise independent Bernoulli(ψ'_i) mask over the points."""
+        if level not in self._part_masks:
+            self._part_masks[level] = self._mask_for(level, self.rate_parts(level), "hprime")
+        return self._part_masks[level]
+
+    @property
+    def randomness_bits(self) -> int:
+        """Bits of hash-function randomness drawn so far."""
+        return self._bits

@@ -1,0 +1,79 @@
+"""Serialization of coresets and parameters.
+
+A coreset is a *summary* — the whole point is to persist/ship it instead of
+the data.  The format is a single ``.npz`` holding the point/weight/part
+arrays plus a JSON-encoded header with the construction parameters, so a
+loaded coreset can (a) be solved against, (b) extend assignments via
+Section 3.3 (it retains part provenance and the accepted guess ``o``), and
+(c) be validated against the parameters it was built with.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.params import CoresetParams
+from repro.core.weighted import Coreset, PartInfo
+
+__all__ = ["save_coreset", "load_coreset", "params_to_dict", "params_from_dict"]
+
+_FORMAT_VERSION = 1
+
+
+def params_to_dict(params: CoresetParams) -> dict:
+    """JSON-safe dict of a :class:`CoresetParams`."""
+    return dataclasses.asdict(params)
+
+
+def params_from_dict(data: dict) -> CoresetParams:
+    """Inverse of :func:`params_to_dict`."""
+    return CoresetParams(**data)
+
+
+def save_coreset(path, coreset: Coreset, params: CoresetParams | None = None) -> None:
+    """Write a coreset (and optionally its parameters) to ``path`` (.npz)."""
+    path = Path(path)
+    header = {
+        "format_version": _FORMAT_VERSION,
+        "o": coreset.o,
+        "delta": coreset.delta,
+        "input_size": coreset.input_size,
+        "parts": [dataclasses.asdict(p) for p in coreset.parts],
+        "params": params_to_dict(params) if params is not None else None,
+    }
+    np.savez_compressed(
+        path,
+        points=coreset.points,
+        weights=coreset.weights,
+        part_ids=coreset.part_ids,
+        header=np.frombuffer(json.dumps(header).encode("utf-8"), dtype=np.uint8),
+    )
+
+
+def load_coreset(path) -> tuple[Coreset, CoresetParams | None]:
+    """Read a coreset written by :func:`save_coreset`.
+
+    Returns (coreset, params) where params is ``None`` when it was not saved.
+    """
+    path = Path(path)
+    with np.load(path, allow_pickle=False) as data:
+        header = json.loads(bytes(data["header"].tobytes()).decode("utf-8"))
+        if header.get("format_version") != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported coreset format version {header.get('format_version')}"
+            )
+        coreset = Coreset(
+            points=data["points"],
+            weights=data["weights"],
+            part_ids=data["part_ids"],
+            parts=[PartInfo(**p) for p in header["parts"]],
+            o=float(header["o"]),
+            delta=int(header["delta"]),
+            input_size=int(header["input_size"]),
+        )
+    params = params_from_dict(header["params"]) if header["params"] else None
+    return coreset, params

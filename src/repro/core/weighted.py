@@ -1,0 +1,119 @@
+"""Weighted point sets and the coreset result object.
+
+A strong (η, ε)-coreset (Section 1.1) is a subset Q' ⊆ Q with positive
+weights w' such that for every capacity t ≥ |Q|/k and every center set Z,
+
+    cost_{(1+η)²t}(Q, Z) / (1+ε)  ≤  cost_{(1+η)t}(Q', Z, w')  ≤  (1+ε)·cost_t(Q, Z).
+
+:class:`Coreset` additionally carries the per-part provenance needed by
+Section 3.3 (extending a coreset assignment to the original point set) and by
+the space accounting of experiments E1/E3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.utils.bits import point_bits
+from repro.utils.validation import check_weights
+
+__all__ = ["WeightedPointSet", "Coreset", "PartInfo"]
+
+
+@dataclass
+class WeightedPointSet:
+    """An (n, d) integer point array with positive float weights."""
+
+    points: np.ndarray
+    weights: np.ndarray
+
+    def __post_init__(self):
+        self.points = np.asarray(self.points)
+        if self.points.ndim != 2:
+            raise ValueError(f"points must be (n, d), got {self.points.shape}")
+        self.weights = check_weights(self.weights, self.points.shape[0])
+
+    def __len__(self) -> int:
+        return self.points.shape[0]
+
+    @property
+    def total_weight(self) -> float:
+        """Σ w(p) — plays the role of |Q| in weighted cost definitions."""
+        return float(self.weights.sum())
+
+    @property
+    def d(self) -> int:
+        """Dimension of the points."""
+        return self.points.shape[1]
+
+    @classmethod
+    def unit(cls, points: np.ndarray) -> "WeightedPointSet":
+        """Wrap raw points with unit weights."""
+        pts = np.asarray(points)
+        return cls(points=pts, weights=np.ones(pts.shape[0]))
+
+    def subset(self, mask_or_idx) -> "WeightedPointSet":
+        """Row-subset view (mask or index array)."""
+        return WeightedPointSet(self.points[mask_or_idx], self.weights[mask_or_idx])
+
+
+@dataclass(frozen=True)
+class PartInfo:
+    """Provenance of one retained part Q_{i,j} ∈ PI_i (Algorithm 2 line 9).
+
+    Attributes
+    ----------
+    level:
+        Grid level i of the crucial cells forming the part.
+    parent_cell_key:
+        Integer key of the heavy cell of G_{i-1} the part lives in.
+    size_estimate:
+        τ(Q_{i,j}) — the (possibly sampled) size estimate used by the check.
+    phi:
+        The sampling rate φ_i applied to this part's points.
+    """
+
+    level: int
+    parent_cell_key: int
+    size_estimate: float
+    phi: float
+
+
+@dataclass
+class Coreset(WeightedPointSet):
+    """The output (Q', w') of Algorithm 2, with provenance.
+
+    ``part_ids[s]`` gives the index into ``parts`` of the part that coreset
+    point s was sampled from; ``o`` is the guess of OPT the construction
+    succeeded with.
+    """
+
+    part_ids: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=np.int64))
+    parts: list = field(default_factory=list)
+    o: float = 0.0
+    delta: int = 0
+    input_size: int = 0
+
+    def __post_init__(self):
+        super().__post_init__()
+        self.part_ids = np.asarray(self.part_ids, dtype=np.int64)
+        if self.part_ids.shape[0] not in (0, len(self)):
+            raise ValueError("part_ids must align with points")
+
+    def storage_bits(self) -> int:
+        """Bits to store the coreset itself: points + one float weight each.
+
+        This is the quantity Theorem 1.1 bounds by poly(ε⁻¹η⁻¹kd·logΔ)
+        (times the d·logΔ bits per point of footnote 1).
+        """
+        if self.delta <= 0:
+            raise ValueError("coreset has no recorded delta")
+        per_point = point_bits(self.d, self.delta) + 64
+        return len(self) * per_point
+
+    def levels(self) -> np.ndarray:
+        """Grid level of each coreset point's part."""
+        lv = np.array([p.level for p in self.parts], dtype=np.int64)
+        return lv[self.part_ids] if len(self) else np.empty(0, dtype=np.int64)

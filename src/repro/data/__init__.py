@@ -1,0 +1,40 @@
+"""Synthetic point-set generators and dynamic-stream workloads.
+
+The paper's guarantees are worst-case over any Q ⊆ [Δ]^d; the generators
+here produce the regimes the experiments need: balanced/unbalanced planted
+Gaussian mixtures (where capacitated and unconstrained clustering diverge),
+uniform noise, adversarial far-outlier sets, and insert/delete stream
+workloads including full-cluster deletions.
+"""
+
+from repro.data.synthetic import (
+    gaussian_mixture,
+    unbalanced_mixture,
+    uniform_points,
+    clustered_with_outliers,
+)
+from repro.data.structured import (
+    annulus,
+    filaments,
+    power_law_clusters,
+    two_scale_clusters,
+)
+from repro.data.workloads import (
+    insertion_stream,
+    churn_stream,
+    deletion_heavy_stream,
+)
+
+__all__ = [
+    "gaussian_mixture",
+    "unbalanced_mixture",
+    "uniform_points",
+    "clustered_with_outliers",
+    "insertion_stream",
+    "churn_stream",
+    "deletion_heavy_stream",
+    "annulus",
+    "filaments",
+    "power_law_clusters",
+    "two_scale_clusters",
+]

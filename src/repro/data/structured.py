@@ -1,0 +1,109 @@
+"""Structured synthetic geometries for robustness testing.
+
+The Gaussian mixtures of :mod:`repro.data.synthetic` are the friendly case;
+these generators produce the shapes that historically break grid-based
+clustering summaries: power-law cluster sizes, ring/annulus structures
+(mass far from any single center), anisotropic filaments, and nested
+clusters at two scales.  Used by the robustness tests and available to
+users for their own stress testing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import as_rng
+from repro.utils.validation import check_delta
+
+__all__ = ["power_law_clusters", "annulus", "filaments", "two_scale_clusters"]
+
+
+def _snap(real: np.ndarray, delta: int) -> np.ndarray:
+    return np.clip(np.rint(real).astype(np.int64), 1, delta)
+
+
+def power_law_clusters(n: int, d: int, delta: int, k: int, alpha: float = 1.5,
+                       spread: float = 0.02, seed=0) -> np.ndarray:
+    """k clusters whose sizes follow a power law (size_i ∝ i^{−α}).
+
+    Heavy-tailed cluster sizes are the regime where per-part uniform rates
+    must adapt: the big head cluster spans many heavy cells while the tail
+    clusters live in single crucial cells near the retention cutoff.
+    """
+    delta = check_delta(delta)
+    rng = as_rng(seed)
+    sizes = np.array([(i + 1.0) ** (-alpha) for i in range(k)])
+    sizes = np.maximum(1, np.round(sizes / sizes.sum() * n)).astype(int)
+    means = rng.uniform(0.2 * delta, 0.8 * delta, size=(k, d))
+    chunks = [
+        means[i] + rng.normal(0, spread * delta, size=(sizes[i], d))
+        for i in range(k)
+    ]
+    pts = np.vstack(chunks)[:n]
+    rng.shuffle(pts, axis=0)
+    return _snap(pts, delta)
+
+
+def annulus(n: int, delta: int, radius_frac: float = 0.3,
+            width_frac: float = 0.03, seed=0) -> np.ndarray:
+    """2-D ring: every point far from the natural center.
+
+    Grid cells along the ring are thin and numerous — the partition must
+    cover a 1-D manifold with 2-D cells without blowing the heavy-cell
+    budget.
+    """
+    delta = check_delta(delta)
+    rng = as_rng(seed)
+    theta = rng.uniform(0, 2 * np.pi, size=int(n))
+    radius = rng.normal(radius_frac * delta, width_frac * delta, size=int(n))
+    center = delta / 2.0
+    pts = np.stack([center + radius * np.cos(theta),
+                    center + radius * np.sin(theta)], axis=1)
+    return _snap(pts, delta)
+
+
+def filaments(n: int, delta: int, k: int = 3, width_frac: float = 0.01,
+              seed=0) -> np.ndarray:
+    """2-D anisotropic line segments (elongated clusters).
+
+    Stress for the isotropic grid: a filament crosses many cells at fine
+    levels, so crucial cells chain along it.
+    """
+    delta = check_delta(delta)
+    rng = as_rng(seed)
+    per = int(n) // k
+    chunks = []
+    for _ in range(k):
+        a = rng.uniform(0.15 * delta, 0.85 * delta, size=2)
+        direction = rng.normal(size=2)
+        direction /= np.linalg.norm(direction)
+        length = rng.uniform(0.2, 0.4) * delta
+        t = rng.uniform(0, 1, size=per)[:, None]
+        noise = rng.normal(0, width_frac * delta, size=(per, 2))
+        chunks.append(a + t * direction * length + noise)
+    pts = np.vstack(chunks)
+    rng.shuffle(pts, axis=0)
+    return _snap(pts, delta)
+
+
+def two_scale_clusters(n: int, d: int, delta: int, k: int = 3,
+                       macro_spread: float = 0.015, micro_spread: float = 0.002,
+                       seed=0) -> np.ndarray:
+    """Clusters of sub-clusters: structure at two grid scales.
+
+    Each macro cluster contains several micro clusters, so heavy cells exist
+    at two separated levels of the hierarchy simultaneously.
+    """
+    delta = check_delta(delta)
+    rng = as_rng(seed)
+    macro = rng.uniform(0.2 * delta, 0.8 * delta, size=(k, d))
+    chunks = []
+    per_macro = int(n) // k
+    for i in range(k):
+        micro = macro[i] + rng.normal(0, macro_spread * delta, size=(4, d))
+        which = rng.integers(0, 4, size=per_macro)
+        chunks.append(micro[which] + rng.normal(0, micro_spread * delta,
+                                                size=(per_macro, d)))
+    pts = np.vstack(chunks)
+    rng.shuffle(pts, axis=0)
+    return _snap(pts, delta)

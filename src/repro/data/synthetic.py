@@ -1,0 +1,112 @@
+"""Seeded synthetic point-set generators over [Δ]^d.
+
+All generators return integer arrays valid for the paper's model (entries in
+[1, Δ]); real-valued intermediate samples are snapped with clipping.  Every
+generator takes a seed so experiments are reproducible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import as_rng
+from repro.utils.validation import check_delta
+
+__all__ = [
+    "gaussian_mixture",
+    "unbalanced_mixture",
+    "uniform_points",
+    "clustered_with_outliers",
+]
+
+
+def _snap(real: np.ndarray, delta: int) -> np.ndarray:
+    return np.clip(np.rint(real).astype(np.int64), 1, delta)
+
+
+def uniform_points(n: int, d: int, delta: int, seed=0) -> np.ndarray:
+    """n i.i.d. uniform points of [Δ]^d."""
+    delta = check_delta(delta)
+    rng = as_rng(seed)
+    return rng.integers(1, delta + 1, size=(int(n), int(d)), dtype=np.int64)
+
+
+def gaussian_mixture(
+    n: int,
+    d: int,
+    delta: int,
+    k: int,
+    spread: float = 0.02,
+    seed=0,
+    return_truth: bool = False,
+):
+    """Balanced mixture of k spherical Gaussians with well-separated means.
+
+    ``spread`` is the cluster standard deviation as a fraction of Δ.  With
+    ``return_truth`` the planted means (snapped to the grid) and component
+    labels are returned too.
+    """
+    delta = check_delta(delta)
+    rng = as_rng(seed)
+    means = rng.uniform(0.2 * delta, 0.8 * delta, size=(int(k), int(d)))
+    labels = rng.integers(0, k, size=int(n))
+    pts = means[labels] + rng.normal(0.0, spread * delta, size=(int(n), int(d)))
+    out = _snap(pts, delta)
+    if return_truth:
+        return out, _snap(means, delta), labels
+    return out
+
+
+def unbalanced_mixture(
+    n: int,
+    d: int,
+    delta: int,
+    k: int,
+    imbalance: float = 8.0,
+    spread: float = 0.02,
+    seed=0,
+    return_truth: bool = False,
+):
+    """Mixture where one component holds ``imbalance``× the mass of each other.
+
+    This is the regime where capacity constraints bind: an unconstrained
+    clustering puts ~imbalance/(imbalance+k−1) of the points in one cluster,
+    which any capacity t close to n/k forbids.  Used by experiments E2/E6.
+    """
+    delta = check_delta(delta)
+    rng = as_rng(seed)
+    k = int(k)
+    probs = np.ones(k)
+    probs[0] = float(imbalance)
+    probs /= probs.sum()
+    means = rng.uniform(0.2 * delta, 0.8 * delta, size=(k, int(d)))
+    labels = rng.choice(k, size=int(n), p=probs)
+    pts = means[labels] + rng.normal(0.0, spread * delta, size=(int(n), int(d)))
+    out = _snap(pts, delta)
+    if return_truth:
+        return out, _snap(means, delta), labels
+    return out
+
+
+def clustered_with_outliers(
+    n: int,
+    d: int,
+    delta: int,
+    k: int,
+    outlier_fraction: float = 0.02,
+    spread: float = 0.01,
+    seed=0,
+) -> np.ndarray:
+    """Gaussian mixture plus a sprinkling of uniform far outliers.
+
+    Outliers stress the partition's light-cell handling (they land in cells
+    that never become heavy) and the small-part-removal of Lemma 3.4.
+    """
+    rng = as_rng(seed)
+    n = int(n)
+    n_out = int(round(outlier_fraction * n))
+    base = gaussian_mixture(n - n_out, d, delta, k, spread=spread, seed=rng)
+    out = uniform_points(n_out, d, delta, seed=rng)
+    pts = np.concatenate([base, out], axis=0)
+    rng.shuffle(pts, axis=0)
+    return pts

@@ -1,0 +1,93 @@
+"""Dynamic-stream workload generators (experiments E3/E4).
+
+Streams are built from a base point set; deletions always target previously
+inserted, still-live points (the model's guarantee).  Points are de-duplicated
+first — the paper's footnote 4 treats Q as a set of distinct points.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.streaming.stream import DELETE, INSERT, Stream, StreamEvent
+from repro.utils.rng import as_rng
+
+__all__ = ["insertion_stream", "churn_stream", "deletion_heavy_stream", "dedupe"]
+
+
+def dedupe(points: np.ndarray) -> np.ndarray:
+    """Distinct rows of a point array (stream model requires a set)."""
+    return np.unique(np.asarray(points), axis=0)
+
+
+def insertion_stream(points: np.ndarray, seed=0) -> Stream:
+    """Insert all (distinct) points in random order; no deletions."""
+    pts = dedupe(points)
+    rng = as_rng(seed)
+    order = rng.permutation(len(pts))
+    return Stream.from_points(pts[order])
+
+
+def churn_stream(
+    points: np.ndarray,
+    delete_fraction: float = 0.5,
+    seed=0,
+) -> Stream:
+    """Insert everything, interleaving deletions of a random subset.
+
+    A ``delete_fraction`` of the points is inserted *and later deleted*, with
+    deletions interleaved randomly after their insertions, so intermediate
+    states are larger than the final set — the regime where sketches must be
+    linear (Theorem 4.5's "handles insertions and deletions").
+
+    Returns a stream whose survivor set is the non-deleted points.
+    """
+    pts = dedupe(points)
+    rng = as_rng(seed)
+    n = len(pts)
+    order = rng.permutation(n)
+    doomed = rng.random(n) < delete_fraction
+    events: list[StreamEvent] = []
+    pending: list[StreamEvent] = []
+    for pos, idx in enumerate(order):
+        row = tuple(int(c) for c in pts[idx])
+        events.append(StreamEvent(row, INSERT))
+        if doomed[idx]:
+            pending.append(StreamEvent(row, DELETE))
+        # Flush a random number of pending deletions to interleave them.
+        while pending and rng.random() < 0.5:
+            j = int(rng.integers(len(pending)))
+            events.append(pending.pop(j))
+    events.extend(pending)
+    return Stream(events)
+
+
+def deletion_heavy_stream(
+    points: np.ndarray,
+    cluster_labels: np.ndarray,
+    delete_clusters,
+    seed=0,
+) -> Stream:
+    """Insert everything, then delete entire clusters.
+
+    Deleting whole clusters changes the *structure* of the optimum (not just
+    its size), which is the hardest case for a dynamic coreset: the heavy
+    cells of the survivor set differ from those of the full set.  Experiment
+    E4 uses this to show the sketch's linearity really buys correctness.
+    """
+    pts = np.asarray(points)
+    labels = np.asarray(cluster_labels)
+    if len(labels) != len(pts):
+        raise ValueError("cluster_labels must align with points")
+    # De-duplicate while keeping one label per surviving row.
+    _, first_idx = np.unique(pts, axis=0, return_index=True)
+    pts, labels = pts[first_idx], labels[first_idx]
+    rng = as_rng(seed)
+    order = rng.permutation(len(pts))
+    events = [
+        StreamEvent(tuple(int(c) for c in pts[i]), INSERT) for i in order
+    ]
+    doomed = np.isin(labels, np.asarray(list(delete_clusters)))
+    for i in rng.permutation(np.flatnonzero(doomed)):
+        events.append(StreamEvent(tuple(int(c) for c in pts[i]), DELETE))
+    return Stream(events)

@@ -1,0 +1,11 @@
+"""Dimension reduction (the [MMR19] remark of Section 1.1).
+
+When d ≫ k/ε, a Johnson-Lindenstrauss projection to poly(k/ε) dimensions
+preserves k-means/k-median costs to 1±ε, after which the coreset only needs
+d·poly(k log Δ) space.  We provide the projection and the glue that lands
+the projected points back on an integer grid.
+"""
+
+from repro.dimred.jl import jl_transform, jl_then_discretize
+
+__all__ = ["jl_transform", "jl_then_discretize"]

@@ -1,0 +1,49 @@
+"""Johnson-Lindenstrauss projection for clustering (the [MMR19] hook).
+
+[MMR19] showed a JL map to O(log(k/ε)/ε²) dimensions preserves the k-means
+and k-median cost of *every partition* to 1±ε — which composes with the
+capacitated coreset: project first, build the coreset in the low dimension,
+and the space drops from poly(kd logΔ) to d·poly(k logΔ) + poly(k/ε logΔ).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.grid.discretize import Discretization, discretize
+from repro.utils.rng import as_rng
+
+__all__ = ["jl_dimension", "jl_transform", "jl_then_discretize"]
+
+
+def jl_dimension(k: int, eps: float, c: float = 8.0) -> int:
+    """The target dimension O(log(k/ε)/ε²) suggested by [MMR19]."""
+    if not (0 < eps < 1):
+        raise ValueError("eps must be in (0,1)")
+    return max(2, int(math.ceil(c * math.log(max(k, 2) / eps) / eps**2)))
+
+
+def jl_transform(points: np.ndarray, target_dim: int, seed=0) -> np.ndarray:
+    """Project rows onto ``target_dim`` dimensions with a scaled Gaussian map.
+
+    The projection matrix has i.i.d. N(0, 1/target_dim) entries, so expected
+    squared norms are preserved.
+    """
+    pts = np.asarray(points, dtype=np.float64)
+    d = pts.shape[1]
+    rng = as_rng(seed)
+    G = rng.normal(0.0, 1.0 / math.sqrt(target_dim), size=(d, int(target_dim)))
+    return pts @ G
+
+
+def jl_then_discretize(
+    points: np.ndarray, target_dim: int, delta: int, seed=0
+) -> tuple[np.ndarray, Discretization]:
+    """Project and re-discretize onto [Δ]^target_dim (the paper's model).
+
+    Returns the integer grid points and the transform for mapping centers
+    found in the projected space back (approximately) to projected reals.
+    """
+    return discretize(jl_transform(points, target_dim, seed=seed), delta)

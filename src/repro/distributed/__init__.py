@@ -1,0 +1,16 @@
+"""Coordinator-model distributed coreset construction (Section 4.3).
+
+The model of [KVW14, BWZ16, …]: s machines each hold a share of Q; all
+communication flows machine ↔ coordinator and is charged in bits.
+
+- :mod:`repro.distributed.network` — the simulated machines/coordinator with
+  exact bit accounting;
+- :mod:`repro.distributed.protocol` — the Lemma 4.6 Storing protocol and
+  the Theorem 4.7 driver producing a strong coreset at the coordinator with
+  s·poly(ε⁻¹η⁻¹kd·logΔ) bits of communication.
+"""
+
+from repro.distributed.network import Network, Machine
+from repro.distributed.protocol import distributed_storing, distributed_coreset
+
+__all__ = ["Network", "Machine", "distributed_storing", "distributed_coreset"]

@@ -1,0 +1,11 @@
+"""Randomly shifted hierarchical grids over [Δ]^d and data discretization.
+
+Section 3.1 of the paper partitions the space by grids G₋₁, G₀, …, G_L
+(L = log₂ Δ) where level i has cell side g_i = Δ/2^i and all levels share one
+uniformly random shift vector v ∈ [0, Δ]^d, so cells are nested across levels.
+"""
+
+from repro.grid.grids import HierarchicalGrids, PointCodec
+from repro.grid.discretize import discretize, dediscretize
+
+__all__ = ["HierarchicalGrids", "PointCodec", "discretize", "dediscretize"]

@@ -1,0 +1,69 @@
+"""Discretization of real-valued data into the paper's [Δ]^d model.
+
+Section 1.1: "we suppose all input and output points are in {1, …, Δ}^d …
+this assumption is without loss of generality since if the clustering cost is
+non-zero, we can always discretize the space by changing the cost by an
+arbitrary small multiplicative error."  These helpers perform exactly that
+reduction: affine-map a real point cloud into the grid and snap to integers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.validation import check_delta
+
+__all__ = ["Discretization", "discretize", "dediscretize"]
+
+
+@dataclass(frozen=True)
+class Discretization:
+    """The affine map used to discretize; kept so results can be mapped back.
+
+    ``grid = round((x - offset) * scale) + 1`` with ``grid ∈ [1, Δ]^d``.
+    """
+
+    offset: np.ndarray
+    scale: float
+    delta: int
+
+    def apply(self, points: np.ndarray) -> np.ndarray:
+        """Map real points into [Δ]^d with the stored transform."""
+        pts = np.asarray(points, dtype=np.float64)
+        grid = np.rint((pts - self.offset[None, :]) * self.scale).astype(np.int64) + 1
+        return np.clip(grid, 1, self.delta)
+
+    def invert(self, grid_points: np.ndarray) -> np.ndarray:
+        """Map grid points back to (approximate) original coordinates."""
+        g = np.asarray(grid_points, dtype=np.float64)
+        return (g - 1.0) / self.scale + self.offset[None, :]
+
+
+def discretize(points: np.ndarray, delta: int) -> tuple[np.ndarray, Discretization]:
+    """Snap a real-valued (n, d) point cloud to [Δ]^d.
+
+    The bounding box is scaled to span [1, Δ] along its *longest* side
+    (isotropic scaling, so relative distances — and hence clustering costs —
+    are preserved up to the rounding error of half a grid cell).
+
+    Returns the integer point array and the :class:`Discretization` transform.
+    """
+    delta = check_delta(delta)
+    pts = np.asarray(points, dtype=np.float64)
+    if pts.ndim != 2:
+        raise ValueError(f"points must be (n, d), got shape {pts.shape}")
+    if pts.shape[0] == 0:
+        t = Discretization(offset=np.zeros(pts.shape[1]), scale=1.0, delta=delta)
+        return np.empty((0, pts.shape[1]), dtype=np.int64), t
+    lo = pts.min(axis=0)
+    span = float((pts.max(axis=0) - lo).max())
+    scale = (delta - 1) / span if span > 0 else 1.0
+    t = Discretization(offset=lo, scale=scale, delta=delta)
+    return t.apply(pts), t
+
+
+def dediscretize(grid_points: np.ndarray, transform: Discretization) -> np.ndarray:
+    """Convenience inverse of :func:`discretize`."""
+    return transform.invert(grid_points)

@@ -1,0 +1,190 @@
+"""λ-wise independent hash families via random polynomials over a prime field.
+
+A uniformly random polynomial of degree λ−1 over GF(p), evaluated at distinct
+keys, yields λ-wise independent, uniformly distributed field values.  From
+that single primitive we derive the three shapes the algorithms need:
+
+- :class:`KWiseHash` — raw field values / uniform reals in [0, 1);
+- :class:`BernoulliHash` — the λ-wise independent indicator
+  ``Pr[h(p) = 1] = φ`` used by Algorithms 2, 3, and 4 for subsampling;
+- :class:`UniformBucketHash` — bucket assignment for the IBLT sketches.
+
+Evaluation uses Horner's rule with Python integers, so keys and the modulus
+may exceed 64 bits (point/cell encodings over [Δ]^d routinely do).  The
+coefficient vector is the *entire* stored randomness: λ field elements, i.e.
+λ·log2(p) bits, which is what the space accounting charges.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.hashing.primes import next_prime
+from repro.utils.rng import as_rng
+
+__all__ = ["KWiseHash", "BernoulliHash", "UniformBucketHash"]
+
+
+def _random_field_elements(rng: np.random.Generator, count: int, p: int) -> list[int]:
+    """Draw ``count`` independent uniform elements of GF(p) (p may exceed 64 bits)."""
+    nbits = p.bit_length()
+    nbytes = (nbits + 7) // 8
+    out: list[int] = []
+    while len(out) < count:
+        # Rejection sampling from [0, 2^(8·nbytes)) to [0, p).
+        raw = rng.bytes(nbytes * (count - len(out) + 4))
+        for i in range(0, len(raw) - nbytes + 1, nbytes):
+            v = int.from_bytes(raw[i : i + nbytes], "big")
+            if v < p:
+                out.append(v)
+                if len(out) == count:
+                    break
+    return out
+
+
+class KWiseHash:
+    """A single function drawn from a λ-wise independent family GF(p) → GF(p).
+
+    Parameters
+    ----------
+    independence:
+        λ — the order of independence (polynomial degree is λ−1).  λ ≥ 2.
+    universe_bits:
+        Keys must satisfy ``0 <= key < 2**universe_bits``; the modulus is the
+        next prime above the universe so the key → field map is injective.
+    seed:
+        Integer seed or ``numpy`` Generator.
+    """
+
+    def __init__(self, independence: int, universe_bits: int, seed=0):
+        if independence < 1:
+            raise ValueError(f"independence must be >= 1, got {independence}")
+        if independence > 1_000_000:
+            # The paper's theory-mode λ can reach 10⁸⁺; materializing that
+            # many coefficients (and paying O(λ) per evaluation) is never
+            # intended — theory mode only reaches a sampler when φ < 1,
+            # which needs inputs far beyond a single machine.
+            raise ValueError(
+                f"independence {independence} is impractically large; "
+                "use CoresetParams.practical() or cap params.lam"
+            )
+        self.independence = int(independence)
+        self.universe_bits = int(universe_bits)
+        self.prime = next_prime(max(1 << self.universe_bits, 1 << 16))
+        rng = as_rng(seed)
+        self._coeffs = _random_field_elements(rng, self.independence, self.prime)
+
+    # -- core evaluation ---------------------------------------------------
+    def value(self, key: int) -> int:
+        """Field value of a single key (Horner's rule, O(λ) multiplications)."""
+        p = self.prime
+        acc = 0
+        for c in self._coeffs:
+            acc = (acc * key + c) % p
+        return acc
+
+    def values(self, keys: Iterable[int]) -> list[int]:
+        """Field values for a batch of keys.
+
+        Fast path: when the prime fits in 31 bits (small universes, e.g.
+        d·log₂Δ ≤ 30), Horner's rule runs vectorized in int64 numpy — every
+        intermediate product stays below 2^62.  Otherwise a Python-int loop
+        handles arbitrary-size fields.
+        """
+        p = self.prime
+        coeffs = self._coeffs
+        keys = keys if isinstance(keys, list) else list(keys)
+        if p < (1 << 31) and keys:
+            arr = np.asarray(keys, dtype=np.int64) % p
+            acc = np.zeros(len(keys), dtype=np.int64)
+            for c in coeffs:
+                acc = (acc * arr + c) % p
+            return acc.tolist()
+        out = []
+        for key in keys:
+            acc = 0
+            for c in coeffs:
+                acc = (acc * key + c) % p
+            out.append(acc)
+        return out
+
+    def uniform(self, keys: Sequence[int]) -> np.ndarray:
+        """Map keys to λ-wise independent uniforms in [0, 1) (float64)."""
+        p = float(self.prime)
+        return np.array([v / p for v in self.values(keys)], dtype=np.float64)
+
+    # -- accounting ---------------------------------------------------------
+    @property
+    def randomness_bits(self) -> int:
+        """Bits of stored randomness: λ coefficients of log2(p) bits each."""
+        return self.independence * self.prime.bit_length()
+
+
+class BernoulliHash:
+    """λ-wise independent indicator with ``Pr[h(key) = 1] = phi``.
+
+    Implemented as ``value(key) < floor(phi · p)``; the realized probability
+    differs from φ by < 1/p, i.e. by less than one part in the universe size,
+    which the paper's analysis absorbs without comment.
+    """
+
+    def __init__(self, phi: float, independence: int, universe_bits: int, seed=0):
+        if not (0.0 <= phi <= 1.0):
+            raise ValueError(f"phi must be in [0, 1], got {phi}")
+        self.phi = float(phi)
+        self._h = KWiseHash(independence, universe_bits, seed=seed)
+        self._threshold = int(self.phi * self._h.prime)
+
+    def indicator(self, key: int) -> bool:
+        """Whether ``key`` is sampled."""
+        if self.phi >= 1.0:
+            return True
+        return self._h.value(key) < self._threshold
+
+    def select(self, keys: Sequence[int]) -> np.ndarray:
+        """Boolean mask of sampled keys."""
+        if self.phi >= 1.0:
+            return np.ones(len(keys), dtype=bool)
+        t = self._threshold
+        return np.array([v < t for v in self._h.values(keys)], dtype=bool)
+
+    @property
+    def independence(self) -> int:
+        """The λ of the underlying λ-wise independent family."""
+        return self._h.independence
+
+    @property
+    def randomness_bits(self) -> int:
+        """Bits of stored randomness (delegates to the field polynomial)."""
+        return self._h.randomness_bits
+
+
+class UniformBucketHash:
+    """λ-wise independent map from keys to ``num_buckets`` buckets.
+
+    Used by the IBLT-style sketches in :mod:`repro.streaming.sketch`.  The
+    field value is reduced mod the bucket count; the induced non-uniformity
+    is < num_buckets / p, negligible for universe-sized primes.
+    """
+
+    def __init__(self, num_buckets: int, independence: int, universe_bits: int, seed=0):
+        if num_buckets < 1:
+            raise ValueError(f"num_buckets must be >= 1, got {num_buckets}")
+        self.num_buckets = int(num_buckets)
+        self._h = KWiseHash(independence, universe_bits, seed=seed)
+
+    def bucket(self, key: int) -> int:
+        """Bucket index of a single key."""
+        return self._h.value(key) % self.num_buckets
+
+    def buckets(self, keys: Sequence[int]) -> np.ndarray:
+        """Bucket indices for a batch of keys."""
+        m = self.num_buckets
+        return np.array([v % m for v in self._h.values(keys)], dtype=np.int64)
+
+    @property
+    def randomness_bits(self) -> int:
+        """Bits of stored randomness (delegates to the field polynomial)."""
+        return self._h.randomness_bits

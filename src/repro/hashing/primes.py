@@ -1,0 +1,71 @@
+"""Deterministic primality testing and prime generation.
+
+The λ-wise independent hash families need a prime modulus strictly larger
+than the key universe (which for points of [Δ]^d has d·log2(Δ) bits, easily
+beyond 64).  We use a deterministic Miller-Rabin test: for n < 3.3·10²⁴ the
+witness set {2,3,5,7,11,13,17,19,23,29,31,37} is exact, and for larger n we
+add enough fixed witnesses that a composite slipping through is (for the
+purposes of a randomized clustering algorithm with 0.9 success probability)
+negligible.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+__all__ = ["is_prime", "next_prime"]
+
+_SMALL_PRIMES = (
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67,
+    71, 73, 79, 83, 89, 97,
+)
+
+# Deterministic for n < 3,317,044,064,679,887,385,961,981.
+_MR_WITNESSES = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37)
+
+# Extra fixed witnesses for very large n (heuristic but astronomically safe).
+_MR_EXTRA = (41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89, 97, 101)
+
+
+def is_prime(n: int) -> bool:
+    """Miller-Rabin primality test (deterministic below 3.3e24)."""
+    n = int(n)
+    if n < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if n == p:
+            return True
+        if n % p == 0:
+            return False
+    # Write n-1 = d * 2^s with d odd.
+    d = n - 1
+    s = 0
+    while d % 2 == 0:
+        d //= 2
+        s += 1
+    witnesses = _MR_WITNESSES if n < 3_317_044_064_679_887_385_961_981 else _MR_WITNESSES + _MR_EXTRA
+    for a in witnesses:
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(s - 1):
+            x = (x * x) % n
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+@lru_cache(maxsize=4096)
+def next_prime(n: int) -> int:
+    """Smallest prime strictly greater than ``n`` (memoized — hash families
+    are created in bulk for the same few universe sizes)."""
+    c = int(n) + 1
+    if c <= 2:
+        return 2
+    if c % 2 == 0:
+        c += 1
+    while not is_prime(c):
+        c += 2
+    return c

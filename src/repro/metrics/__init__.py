@@ -1,0 +1,41 @@
+"""Cost functions and coreset-quality evaluation.
+
+Implements the paper's Section 2 definitions: the capacitated ℓr clustering
+cost ``cost_t^(r)(Q, Z)`` and its weighted variant ``cost_t^(r)(Q, Z, w)``
+(computed exactly via the transportation problem), the uncapacitated cost
+``cost^(r)``, and the strong-(η, ε)-coreset quality check used by the
+experiments.
+"""
+
+from repro.metrics.distances import pairwise_distances, pairwise_power_distances
+from repro.metrics.costs import (
+    capacitated_cost,
+    uncapacitated_cost,
+    optimal_uncapacitated_cost_upper_bound,
+)
+from repro.metrics.balance import (
+    capacity_violations,
+    gini,
+    imbalance_cv,
+    max_load_ratio,
+)
+from repro.metrics.evaluation import (
+    coreset_cost_ratio,
+    CoresetQualityReport,
+    evaluate_coreset_quality,
+)
+
+__all__ = [
+    "pairwise_distances",
+    "pairwise_power_distances",
+    "capacitated_cost",
+    "uncapacitated_cost",
+    "optimal_uncapacitated_cost_upper_bound",
+    "coreset_cost_ratio",
+    "CoresetQualityReport",
+    "evaluate_coreset_quality",
+    "capacity_violations",
+    "gini",
+    "imbalance_cv",
+    "max_load_ratio",
+]

@@ -1,0 +1,71 @@
+"""Balance / load metrics for capacitated clustering solutions.
+
+The whole point of balanced clustering is the *load profile*; these metrics
+quantify it for examples, benchmarks, and user reporting:
+
+- :func:`max_load_ratio` — max cluster load over the ideal W/k (1.0 = perfectly
+  balanced; the paper's capacity guarantee bounds it by (1+η)·t·k/W);
+- :func:`imbalance_cv` — coefficient of variation of the loads;
+- :func:`gini` — Gini coefficient of the loads (0 = perfectly equal);
+- :func:`capacity_violations` — per-cluster overshoot against a capacity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["max_load_ratio", "imbalance_cv", "gini", "capacity_violations",
+           "load_profile"]
+
+
+def load_profile(labels: np.ndarray, k: int,
+                 weights: np.ndarray | None = None) -> np.ndarray:
+    """Weighted loads per cluster (the size vector s(π) of Definition 3.6).
+
+    Implemented locally (not via ``repro.assignment``) to keep the metrics
+    package import-cycle-free.
+    """
+    lab = np.asarray(labels)
+    w = np.ones(len(lab)) if weights is None else np.asarray(weights, dtype=np.float64)
+    return np.bincount(lab, weights=w, minlength=k).astype(np.float64)
+
+
+def max_load_ratio(labels: np.ndarray, k: int,
+                   weights: np.ndarray | None = None) -> float:
+    """max_i load_i / (W/k); 1.0 means perfectly balanced."""
+    loads = load_profile(labels, k, weights)
+    total = loads.sum()
+    if total <= 0:
+        return 1.0
+    return float(loads.max() * k / total)
+
+
+def imbalance_cv(labels: np.ndarray, k: int,
+                 weights: np.ndarray | None = None) -> float:
+    """Coefficient of variation (std/mean) of cluster loads."""
+    loads = load_profile(labels, k, weights)
+    mean = loads.mean()
+    if mean <= 0:
+        return 0.0
+    return float(loads.std() / mean)
+
+
+def gini(labels: np.ndarray, k: int, weights: np.ndarray | None = None) -> float:
+    """Gini coefficient of the load distribution (0 = equal, →1 = one cluster)."""
+    loads = np.sort(load_profile(labels, k, weights))
+    total = loads.sum()
+    if total <= 0:
+        return 0.0
+    cum = np.cumsum(loads)
+    # Standard formula: G = 1 - 2·Σ(cum_i - loads_i/2)/(k·total)
+    return float(1.0 - 2.0 * (cum - loads / 2.0).sum() / (len(loads) * total))
+
+
+def capacity_violations(labels: np.ndarray, k: int, t,
+                        weights: np.ndarray | None = None) -> np.ndarray:
+    """Per-cluster overshoot max(0, load_i − t_i)."""
+    loads = load_profile(labels, k, weights)
+    caps = np.asarray(t, dtype=np.float64)
+    if caps.ndim == 0:
+        caps = np.full(k, float(caps))
+    return np.maximum(0.0, loads - caps)

@@ -1,0 +1,123 @@
+"""Empirical verification of the strong (η, ε)-coreset property.
+
+Section 1.1 defines the property as a two-sided sandwich holding for *every*
+capacity ``t ≥ |Q|/k`` and *every* center set Z:
+
+    cost_{(1+η)²t}(Q, Z) / (1+ε)  ≤  cost_{(1+η)t}(Q', Z, w')
+                                  ≤  (1+ε) · cost_t(Q, Z).
+
+Experiments can't quantify over all (Z, t), so :func:`evaluate_coreset_quality`
+samples an adversarial battery of center sets (planted optima, k-means++
+seeds, random, deliberately bad) and capacity grid, computing both sides
+exactly via the transportation solver.  This is the measurement behind
+experiments E2, E4, E6, and E7.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.weighted import Coreset
+from repro.metrics.costs import capacitated_cost
+
+__all__ = ["coreset_cost_ratio", "CoresetQualityReport", "evaluate_coreset_quality"]
+
+
+@dataclass
+class QualityEntry:
+    """Cost comparison for one (Z, t) pair."""
+
+    t: float
+    coreset_cost: float      # cost_{(1+η)t}(Q', Z, w')
+    full_cost: float         # cost_t(Q, Z)
+    full_cost_relaxed: float  # cost_{(1+η)²t}(Q, Z)
+
+    @property
+    def upper_ratio(self) -> float:
+        """cost_{(1+η)t}(Q') / cost_t(Q); must be ≤ 1+ε."""
+        if self.full_cost == 0:
+            return 1.0 if self.coreset_cost == 0 else math.inf
+        return self.coreset_cost / self.full_cost
+
+    @property
+    def lower_ratio(self) -> float:
+        """cost_{(1+η)²t}(Q) / cost_{(1+η)t}(Q'); must be ≤ 1+ε."""
+        if self.coreset_cost == 0:
+            return 1.0 if self.full_cost_relaxed == 0 else math.inf
+        return self.full_cost_relaxed / self.coreset_cost
+
+
+@dataclass
+class CoresetQualityReport:
+    """Aggregate of :class:`QualityEntry` over the sampled (Z, t) battery."""
+
+    eps: float
+    eta: float
+    entries: list = field(default_factory=list)
+
+    @property
+    def max_upper_ratio(self) -> float:
+        """Worst upper-side ratio across all tested (Z, t) pairs."""
+        return max((e.upper_ratio for e in self.entries), default=1.0)
+
+    @property
+    def max_lower_ratio(self) -> float:
+        """Worst lower-side ratio across all tested (Z, t) pairs."""
+        return max((e.lower_ratio for e in self.entries), default=1.0)
+
+    @property
+    def worst_ratio(self) -> float:
+        """The worst of both sides; the coreset property demands ≤ 1+ε."""
+        return max(self.max_upper_ratio, self.max_lower_ratio)
+
+    def holds(self, slack: float = 1.0) -> bool:
+        """Whether both sides are within (1+ε)·slack for every tested pair."""
+        return self.worst_ratio <= (1.0 + self.eps) * slack
+
+
+def coreset_cost_ratio(
+    points: np.ndarray,
+    coreset: Coreset,
+    centers: np.ndarray,
+    t: float,
+    r: float = 2.0,
+    eta: float = 0.25,
+) -> QualityEntry:
+    """Compute one (Z, t) entry of the sandwich, exactly."""
+    c_core = capacitated_cost(
+        coreset.points, centers, (1.0 + eta) * t, r=r, weights=coreset.weights
+    )
+    c_full = capacitated_cost(points, centers, t, r=r)
+    c_full_relaxed = capacitated_cost(points, centers, (1.0 + eta) ** 2 * t, r=r)
+    return QualityEntry(
+        t=float(t), coreset_cost=c_core, full_cost=c_full,
+        full_cost_relaxed=c_full_relaxed,
+    )
+
+
+def evaluate_coreset_quality(
+    points: np.ndarray,
+    coreset: Coreset,
+    center_sets,
+    capacities,
+    r: float = 2.0,
+    eps: float = 0.25,
+    eta: float = 0.25,
+) -> CoresetQualityReport:
+    """Evaluate the sandwich over a battery of center sets × capacities.
+
+    ``capacities`` entries may be ``math.inf`` (uncapacitated check) or any
+    t ≥ n/k; infeasible combinations (cost ∞ on both sides) are recorded with
+    ratio 1.
+    """
+    report = CoresetQualityReport(eps=eps, eta=eta)
+    for Z in center_sets:
+        for t in capacities:
+            entry = coreset_cost_ratio(points, coreset, Z, t, r=r, eta=eta)
+            if math.isinf(entry.full_cost) and math.isinf(entry.coreset_cost):
+                continue  # both infeasible: vacuous
+            report.entries.append(entry)
+    return report

@@ -1,0 +1,52 @@
+"""Weighted k-means++ seeding (Arthur & Vassilvitskii 2007), from scratch.
+
+Seeds are drawn with probability proportional to w(p)·dist^r(p, chosen);
+for r = 2 this is the classical D² sampling whose expected cost is an
+O(log k)-approximation of the k-means optimum — good enough both as a
+solver initialization and as the pilot OPT estimate for the guess-o driver.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.metrics.distances import pairwise_power_distances
+from repro.utils.rng import as_rng
+
+__all__ = ["kmeans_plusplus"]
+
+
+def kmeans_plusplus(
+    points: np.ndarray,
+    k: int,
+    r: float = 2.0,
+    weights: np.ndarray | None = None,
+    seed=0,
+) -> np.ndarray:
+    """Pick k seed centers from ``points`` by weighted D^r sampling.
+
+    Returns the selected rows (k, d); if fewer than k distinct points exist,
+    duplicates fill the remainder.
+    """
+    pts = np.asarray(points, dtype=np.float64)
+    n = pts.shape[0]
+    if n == 0:
+        raise ValueError("cannot seed from an empty point set")
+    rng = as_rng(seed)
+    w = np.ones(n) if weights is None else np.asarray(weights, dtype=np.float64)
+    probs = w / w.sum()
+    first = rng.choice(n, p=probs)
+    chosen = [int(first)]
+    best = pairwise_power_distances(pts, pts[first][None, :], r)[:, 0]
+    while len(chosen) < k:
+        mass = w * best
+        total = mass.sum()
+        if total <= 0:
+            # All points coincide with chosen centers; fill by weight.
+            chosen.append(int(rng.choice(n, p=probs)))
+        else:
+            nxt = int(rng.choice(n, p=mass / total))
+            chosen.append(nxt)
+            cand = pairwise_power_distances(pts, pts[nxt][None, :], r)[:, 0]
+            np.minimum(best, cand, out=best)
+    return pts[np.asarray(chosen)]

@@ -1,0 +1,92 @@
+"""Merging streaming states (parallel shards of one logical stream).
+
+Everything Algorithm 4 maintains is a *linear sketch*, so two instances
+built with the same randomness over disjoint sub-streams can be **added**:
+the merged state equals the state of one instance that saw the concatenated
+stream.  This is the streaming↔distributed bridge the paper exploits in
+Section 4.3 — here exposed directly so users can shard a stream across
+workers and merge, or combine checkpointed states.
+
+Requirements (checked): identical parameters, identical seeds (same grids,
+hash polynomials, and sketch layouts), same backend.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.streaming.storing import ExactStoring, SketchStoring
+from repro.streaming.streaming_coreset import StreamingCoreset
+
+__all__ = ["merge_streaming_states", "merge_storing"]
+
+
+def merge_storing(a, b):
+    """Merge two Storing structures of the same shape *in place* into ``a``."""
+    if type(a) is not type(b):
+        raise ValueError("cannot merge different Storing backends")
+    if (a.alpha, a.beta, a.recover_points) != (b.alpha, b.beta, b.recover_points):
+        raise ValueError("cannot merge Storing structures with different budgets")
+    if isinstance(a, ExactStoring):
+        a._cells.update(b._cells)
+        for key in [k for k, v in a._cells.items() if v == 0]:
+            del a._cells[key]
+        if a.recover_points:
+            for cell, pts in b._points.items():
+                tgt = a._points.setdefault(cell, Counter())
+                tgt.update(pts)
+                for k in [k for k, v in tgt.items() if v == 0]:
+                    del tgt[k]
+                if not tgt:
+                    del a._points[cell]
+        return a
+    if isinstance(a, SketchStoring):
+        _add_iblt(a._cells, b._cells)
+        for pos, sk in b._nested.items():
+            _add_iblt(a._nested_at(*pos), sk)
+        return a
+    raise TypeError(f"unknown Storing type {type(a)!r}")
+
+
+def _add_iblt(dst, src) -> None:
+    if dst.m != src.m or dst.universe_bits != src.universe_bits:
+        raise ValueError("cannot merge IBLTs of different shapes")
+    for pos, bucket in src.buckets.items():
+        d = dst.buckets.setdefault(pos, [0, 0, 0])
+        d[0] += bucket[0]
+        d[1] += bucket[1]
+        d[2] += bucket[2]
+
+
+def merge_streaming_states(a: StreamingCoreset, b: StreamingCoreset) -> StreamingCoreset:
+    """Merge ``b``'s state into ``a`` (in place; returns ``a``).
+
+    Both drivers must have been constructed with identical ``params``,
+    ``seed``, ``backend``, and guess windows — i.e. they are shards of one
+    logical computation, differing only in which updates they saw.
+    """
+    if a.params != b.params:
+        raise ValueError("cannot merge: different parameters")
+    oa = [inst.o for inst in a.instances]
+    ob = [inst.o for inst in b.instances]
+    if oa != ob:
+        raise ValueError("cannot merge: different guess schedules")
+    if any(x.backend != y.backend for x, y in zip(a.instances, b.instances)):
+        raise ValueError("cannot merge: different backends")
+    # Same seed ⇒ same grid shift; cheap proxy check on the shift vector.
+    import numpy as np
+
+    if not np.allclose(a.grids.shift, b.grids.shift):
+        raise ValueError("cannot merge: different grid randomness (seeds differ)")
+
+    for ia, ib in zip(a.instances, b.instances):
+        ia.dead_reason = ia.dead_reason or ib.dead_reason
+        for ga, gb in ((ia.store_h, ib.store_h), (ia.store_hp, ib.store_hp),
+                       (ia.store_hhat, ib.store_hhat)):
+            for sa, sb in zip(ga, gb):
+                merge_storing(sa, sb)
+    if a._pilot_sampler is not None and b._pilot_sampler is not None:
+        for sa, sb in zip(a._pilot_sampler._sketches, b._pilot_sampler._sketches):
+            _add_iblt(sa, sb)
+    a.num_updates += b.num_updates
+    return a

@@ -1,0 +1,196 @@
+"""Linear sketches for dynamic geometric streams.
+
+The ``Storing`` subroutine of Lemma 4.2 must, under arbitrary interleavings
+of insertions and deletions, recover at the end of the stream (a) all
+non-empty cells with exact counts and (b) the points of every small cell.
+The classic tool is an invertible-Bloom-lookup-table (IBLT) style sketch:
+
+- each **bucket** holds a signed counter, a key-weighted sum, and a
+  fingerprint sum over a random hash of the key.  A bucket is *1-sparse*
+  (holds exactly one distinct key) iff ``keysum = count · key`` for the
+  integer ``key = keysum / count`` and the fingerprint matches — the
+  fingerprint makes false positives vanishingly unlikely;
+- an :class:`IBLTSketch` hashes every key into one bucket per row (3 rows)
+  and **peels**: recover a key from any 1-sparse bucket, subtract it
+  everywhere, repeat.  Decoding succeeds w.h.p. whenever the number of
+  distinct live keys is within the sketch's capacity, and the sketch is
+  *linear*: updates commute, deletions are negative insertions.
+
+Implementation notes (performance — see the HPC guide):
+
+- buckets live in a dict keyed by position, materialized on first touch;
+  a zeroed bucket is equivalent to an absent one, so decoding only walks
+  touched positions.  ``space_bits`` still charges the full pre-allocated
+  layout a space-bounded implementation would use; ``resident_bits``
+  reports what is actually materialized.
+- many sketches of identical shape (the nested per-bucket point sketches of
+  :class:`~repro.streaming.storing.SketchStoring`) share one
+  :class:`SketchHashFamily`, so creating a nested sketch allocates nothing
+  but a dict.
+"""
+
+from __future__ import annotations
+
+from repro.hashing.kwise import KWiseHash, UniformBucketHash
+from repro.utils.rng import derive_seed
+
+__all__ = ["IBLTSketch", "SketchHashFamily", "DecodeFailure"]
+
+
+class DecodeFailure(Exception):
+    """The sketch held more distinct keys than its capacity allows."""
+
+
+class SketchHashFamily:
+    """Row hashes + fingerprint shared by every IBLT of one shape."""
+
+    ROWS = 3
+    FP_MOD = (1 << 61) - 1
+
+    def __init__(self, buckets_per_row: int, universe_bits: int, seed=0):
+        self.m = int(buckets_per_row)
+        self.universe_bits = int(universe_bits)
+        self.row_hash = [
+            UniformBucketHash(self.m, independence=6, universe_bits=universe_bits,
+                              seed=derive_seed(seed, f"iblt-row-{r}"))
+            for r in range(self.ROWS)
+        ]
+        self._fp = KWiseHash(independence=4, universe_bits=universe_bits,
+                             seed=derive_seed(seed, "iblt-fp"))
+
+    def positions(self, key: int) -> tuple[int, ...]:
+        """Bucket index of ``key`` in every row."""
+        return tuple(h.bucket(key) for h in self.row_hash)
+
+    def fingerprint(self, key: int) -> int:
+        """Verification fingerprint of ``key`` (mod a 61-bit prime)."""
+        return self._fp.value(key) % self.FP_MOD
+
+    @property
+    def randomness_bits(self) -> int:
+        """Stored randomness of the row hashes plus the fingerprint hash."""
+        return (sum(h.randomness_bits for h in self.row_hash)
+                + self._fp.randomness_bits)
+
+
+class IBLTSketch:
+    """Peelable key/count sketch with a given distinct-key capacity.
+
+    Parameters
+    ----------
+    capacity:
+        Number of distinct keys the decoder must handle (the α or β of
+        Lemma 4.2).  Buckets per row default to 2×capacity (min 8).
+    universe_bits:
+        Keys satisfy 0 ≤ key < 2^universe_bits (Python bigints fine).
+    seed:
+        Seeds a private hash family; ignored when ``family`` is given.
+    family:
+        Optional shared :class:`SketchHashFamily` (must match the bucket
+        count implied by ``capacity``/``buckets_per_row``).
+    """
+
+    ROWS = SketchHashFamily.ROWS
+
+    def __init__(self, capacity: int, universe_bits: int, seed=0,
+                 buckets_per_row: int | None = None,
+                 family: SketchHashFamily | None = None):
+        self.capacity = int(capacity)
+        self.universe_bits = int(universe_bits)
+        m = buckets_per_row if buckets_per_row is not None else max(8, 2 * self.capacity)
+        if family is not None and family.m != int(m):
+            raise ValueError("shared family bucket count mismatch")
+        self.family = family if family is not None else SketchHashFamily(
+            int(m), universe_bits, seed=seed)
+        self.m = self.family.m
+        # buckets[(row, pos)] = [count, keysum, fpsum]; absent == all-zero.
+        self.buckets: dict[tuple[int, int], list] = {}
+
+    # -- updates -------------------------------------------------------------
+    def update(self, key: int, delta: int = 1) -> None:
+        """Add ``delta`` (may be negative) copies of ``key``."""
+        key = int(key)
+        fp = self.family.fingerprint(key)
+        dk = delta * key
+        dfp = delta * fp
+        buckets = self.buckets
+        for r, pos in enumerate(self.family.positions(key)):
+            b = buckets.get((r, pos))
+            if b is None:
+                buckets[(r, pos)] = [delta, dk, dfp]
+            else:
+                b[0] += delta
+                b[1] += dk
+                b[2] += dfp
+
+    def total_count(self) -> int:
+        """Signed total of all updates (row 0 holds every key once)."""
+        return sum(b[0] for (r, _), b in self.buckets.items() if r == 0)
+
+    # -- decoding -------------------------------------------------------------
+    def _try_extract(self, b: list):
+        """Return (key, count) if the bucket is verified 1-sparse, else None."""
+        cnt, ks, fs = b
+        if cnt == 0:
+            return None
+        if ks % cnt != 0:
+            return None
+        key = ks // cnt
+        if key < 0 or key >= (1 << self.universe_bits):
+            return None
+        if fs != cnt * self.family.fingerprint(key):
+            return None
+        return key, cnt
+
+    def decode(self) -> dict[int, int]:
+        """Peel a copy of the sketch; returns {key: count} for live keys.
+
+        Raises :class:`DecodeFailure` when peeling stalls with residual mass
+        (more distinct keys than capacity, w.h.p.).
+        """
+        work = {pos: list(b) for pos, b in self.buckets.items() if any(b)}
+        out: dict[int, int] = {}
+        queue = list(work.keys())
+        while queue:
+            pos = queue.pop()
+            b = work.get(pos)
+            if b is None or not any(b):
+                continue
+            got = self._try_extract(b)
+            if got is None:
+                continue
+            key, cnt = got
+            out[key] = out.get(key, 0) + cnt
+            fp = self.family.fingerprint(key)
+            for r, p in enumerate(self.family.positions(key)):
+                wb = work.get((r, p))
+                if wb is None:
+                    wb = [0, 0, 0]
+                    work[(r, p)] = wb
+                wb[0] -= cnt
+                wb[1] -= cnt * key
+                wb[2] -= cnt * fp
+                queue.append((r, p))
+        for b in work.values():
+            if any(b):
+                raise DecodeFailure(f"IBLT peeling stalled (capacity {self.capacity})")
+        return {k: v for k, v in out.items() if v != 0}
+
+    # -- accounting ----------------------------------------------------------
+    PER_BUCKET_OVERHEAD = 61  # fingerprint-sum modulus bits
+
+    def _per_bucket_bits(self, max_count_bits: int = 32) -> int:
+        return (max_count_bits
+                + (self.universe_bits + max_count_bits)
+                + (self.PER_BUCKET_OVERHEAD + max_count_bits))
+
+    def space_bits(self, max_count_bits: int = 32) -> int:
+        """Worst-case pre-allocated layout: every bucket of every row, plus
+        the hash-family randomness."""
+        return (self.ROWS * self.m * self._per_bucket_bits(max_count_bits)
+                + self.family.randomness_bits)
+
+    def resident_bits(self, max_count_bits: int = 32) -> int:
+        """Bits of the buckets actually materialized (data-dependent)."""
+        return (len(self.buckets) * self._per_bucket_bits(max_count_bits)
+                + self.family.randomness_bits)

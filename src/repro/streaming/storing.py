@@ -1,0 +1,222 @@
+"""The ``Storing(G_i, α, β, δ)`` subroutine (Lemma 4.2, from [HSYZ18]).
+
+Contract: after processing a dynamic stream of points (each update tagged
+with its grid-cell key at level i and its point key), the structure either
+FAILs or returns
+
+- ``cells``       — every non-empty cell with its exact point count;
+- ``small_points``— for every cell with ≤ β points, those points;
+
+and it must not FAIL (w.h.p.) whenever the number of non-empty cells is ≤ α.
+
+Two interchangeable implementations:
+
+- :class:`ExactStoring` — a dictionary (reference semantics; linear space in
+  the live set, used for fast experiments and as the test oracle);
+- :class:`SketchStoring` — the true sublinear linear sketch: a cell-level
+  IBLT of capacity α whose every (row, bucket) slot carries a *nested* point
+  IBLT of capacity β (all nested sketches share one hash family; their
+  bucket dicts materialize lazily).  After peeling the cell IBLT, every
+  decoded cell that is alone in some (row, bucket) has its points
+  recoverable from that slot's nested sketch.  Updates are linear, so
+  insertions and deletions in any order work — the property Theorem 4.5
+  needs.
+
+Space: ``space_bits`` charges the full pre-allocated O(α·β) layout of a
+space-bounded implementation (the quantity Lemma 4.2 bounds);
+``resident_bits`` reports the materialized buckets (data-dependent, what
+the Python process actually holds).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.streaming.sketch import DecodeFailure, IBLTSketch, SketchHashFamily
+from repro.utils.rng import derive_seed
+from repro.utils.validation import FailedConstruction
+
+__all__ = ["StoringResult", "ExactStoring", "SketchStoring"]
+
+
+@dataclass
+class StoringResult:
+    """Decoded contents of a Storing structure."""
+
+    #: Non-empty cells: cell key → exact count.
+    cells: dict = field(default_factory=dict)
+    #: Cells with ≤ β points: cell key → {point key: count}.
+    small_points: dict = field(default_factory=dict)
+
+
+class ExactStoring:
+    """Reference implementation backed by dictionaries."""
+
+    def __init__(self, alpha: int, beta: int, recover_points: bool = True):
+        self.alpha = int(alpha)
+        self.beta = int(beta)
+        self.recover_points = bool(recover_points)
+        self._cells: Counter = Counter()
+        self._points: dict[int, Counter] = {}
+
+    def update(self, cell_key: int, point_key: int, sign: int) -> None:
+        """Apply one insertion (+1) / deletion (−1) of a point in a cell."""
+        self._cells[cell_key] += sign
+        if self._cells[cell_key] == 0:
+            del self._cells[cell_key]
+        if self.recover_points:
+            bucket = self._points.setdefault(cell_key, Counter())
+            bucket[point_key] += sign
+            if bucket[point_key] == 0:
+                del bucket[point_key]
+            if not bucket:
+                del self._points[cell_key]
+
+    def result(self) -> StoringResult:
+        """Decode the structure (Lemma 4.2's output); FAIL if > α cells."""
+        if len(self._cells) > self.alpha:
+            raise FailedConstruction(
+                f"Storing: {len(self._cells)} non-empty cells exceed alpha={self.alpha}"
+            )
+        small = {}
+        if self.recover_points:
+            for cell, cnt in self._cells.items():
+                if cnt <= self.beta:
+                    small[cell] = dict(self._points.get(cell, {}))
+        return StoringResult(cells=dict(self._cells), small_points=small)
+
+    def space_bits(self, cell_bits: int = 64, point_bits: int = 64) -> int:
+        """Actual content bits (the reference implementation is not sublinear)."""
+        bits = len(self._cells) * (cell_bits + 32)
+        if self.recover_points:
+            bits += sum(len(c) for c in self._points.values()) * (point_bits + 32)
+        return bits
+
+    def resident_bits(self, cell_bits: int = 64, point_bits: int = 64) -> int:
+        """Same as :meth:`space_bits` (the dictionary holds only content)."""
+        return self.space_bits(cell_bits, point_bits)
+
+
+class SketchStoring:
+    """The sublinear linear-sketch implementation of Lemma 4.2."""
+
+    def __init__(
+        self,
+        alpha: int,
+        beta: int,
+        cell_universe_bits: int,
+        point_universe_bits: int,
+        seed=0,
+        recover_points: bool = True,
+    ):
+        self.alpha = int(alpha)
+        self.beta = int(beta)
+        self.recover_points = bool(recover_points)
+        self.cell_universe_bits = int(cell_universe_bits)
+        self.point_universe_bits = int(point_universe_bits)
+        seed = int(seed) & 0xFFFFFFFF
+        self._cells = IBLTSketch(self.alpha, cell_universe_bits,
+                                 seed=derive_seed(seed, "cells"))
+        # One shared hash family serves every nested point sketch; nested
+        # sketches are just lazily-materialized bucket dicts.
+        self._pt_family = SketchHashFamily(
+            max(8, 2 * self.beta), point_universe_bits,
+            seed=derive_seed(seed, "pt-family")) if recover_points else None
+        self._nested: dict[tuple[int, int], IBLTSketch] = {}
+
+    def _nested_at(self, row: int, pos: int) -> IBLTSketch:
+        key = (row, pos)
+        sk = self._nested.get(key)
+        if sk is None:
+            sk = IBLTSketch(self.beta, self.point_universe_bits,
+                            family=self._pt_family)
+            self._nested[key] = sk
+        return sk
+
+    def update(self, cell_key: int, point_key: int, sign: int) -> None:
+        """Apply one signed update to the cell IBLT and its nested sketch."""
+        cell_key = int(cell_key)
+        fam = self._cells.family
+        fp = fam.fingerprint(cell_key)
+        dk = sign * cell_key
+        dfp = sign * fp
+        buckets = self._cells.buckets
+        for r, pos in enumerate(fam.positions(cell_key)):
+            b = buckets.get((r, pos))
+            if b is None:
+                buckets[(r, pos)] = [sign, dk, dfp]
+            else:
+                b[0] += sign
+                b[1] += dk
+                b[2] += dfp
+            if self.recover_points:
+                self._nested_at(r, pos).update(int(point_key), sign)
+
+    def result(self) -> StoringResult:
+        """Peel the sketches into Lemma 4.2's output; FAIL on stall."""
+        try:
+            cells = self._cells.decode()
+        except DecodeFailure as exc:
+            raise FailedConstruction(f"Storing sketch: {exc}") from exc
+        if len(cells) > self.alpha:
+            raise FailedConstruction(
+                f"Storing sketch: decoded {len(cells)} cells exceed alpha={self.alpha}"
+            )
+        small: dict[int, dict[int, int]] = {}
+        if self.recover_points:
+            # Which cells share each (row, bucket)?  We know all live cells,
+            # so bucket occupancy is computable exactly.
+            occupancy: dict[tuple[int, int], int] = {}
+            positions: dict[int, tuple[int, ...]] = {}
+            fam = self._cells.family
+            for cell in cells:
+                pos_list = fam.positions(cell)
+                positions[cell] = pos_list
+                for r, pos in enumerate(pos_list):
+                    occupancy[(r, pos)] = occupancy.get((r, pos), 0) + 1
+            for cell, cnt in cells.items():
+                if cnt > self.beta:
+                    continue
+                decoded = None
+                for r, pos in enumerate(positions[cell]):
+                    if occupancy[(r, pos)] != 1:
+                        continue  # bucket shared: nested sketch is polluted
+                    nested = self._nested.get((r, pos))
+                    if nested is None:
+                        decoded = {}
+                        break
+                    try:
+                        decoded = nested.decode()
+                    except DecodeFailure:
+                        continue
+                    break
+                if decoded is None:
+                    raise FailedConstruction(
+                        f"Storing sketch: small cell {cell} never isolated "
+                        f"in any row; cannot recover its points"
+                    )
+                small[cell] = decoded
+        return StoringResult(cells=cells, small_points=small)
+
+    # -- accounting ------------------------------------------------------------
+    def space_bits(self) -> int:
+        """Worst-case pre-allocated layout: the cell IBLT plus one nested
+        point IBLT per (row, bucket) slot — the O(α·β) of Lemma 4.2."""
+        bits = self._cells.space_bits()
+        if self.recover_points:
+            proto = IBLTSketch(self.beta, self.point_universe_bits,
+                               family=self._pt_family)
+            bits += (self._cells.ROWS * self._cells.m * proto.space_bits()
+                     - (self._cells.ROWS * self._cells.m - 1)
+                     * self._pt_family.randomness_bits)
+        return bits
+
+    def resident_bits(self) -> int:
+        """Bits of buckets actually materialized (data-dependent)."""
+        bits = self._cells.resident_bits()
+        if self.recover_points:
+            bits += self._pt_family.randomness_bits
+            for sk in self._nested.values():
+                bits += sk.resident_bits() - self._pt_family.randomness_bits
+        return bits

@@ -1,0 +1,489 @@
+"""Algorithm 4 / Theorem 4.5 — one-pass coreset over a dynamic stream.
+
+For a fixed guess ``o``, the algorithm maintains, per level i ∈ {0…L}, three
+λ-wise independently sub-sampled sub-streams, each fed into a ``Storing``
+structure (Lemma 4.2):
+
+====================  =========================  ============================
+sub-stream (rate)      Storing budget             role
+====================  =========================  ============================
+h_i   (ψ_i)            (α_i, β=1), counts only    τ(C∩Q): heavy-cell decisions
+h'_i  (ψ'_i)           (α'_i, β=1), counts only   τ(Q_{i,j}): part sizes
+ĥ_i   (φ_i)            (α̂_i, β̂_i), with points    the coreset samples themselves
+====================  =========================  ============================
+
+At the end of the stream, the decoded counts replay Algorithms 1+2 *exactly*
+(same hash functions ⇒ same samples as the offline construction in
+``use_sampled_counts`` mode), and the coreset points are recovered from the
+ĥ sketches of crucial cells in retained parts.
+
+:class:`StreamingCoreset` is the Theorem 4.5 driver: it runs one instance
+per guess o ∈ {1, 2, 4, …, Δ^d·(√dΔ)^r} in parallel (all instances *share*
+the underlying hash polynomials — only the acceptance thresholds differ) and
+returns the smallest guess whose instance does not FAIL.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.params import CoresetParams
+from repro.core.partition import ROOT_CELL_KEY
+from repro.core.weighted import Coreset, PartInfo
+from repro.grid.grids import HierarchicalGrids
+from repro.hashing.kwise import KWiseHash
+from repro.streaming.storing import ExactStoring, SketchStoring
+from repro.streaming.stream import StreamEvent
+from repro.utils.rng import derive_seed
+from repro.utils.validation import FailedConstruction
+
+__all__ = ["StreamingCoresetInstance", "StreamingCoreset", "assemble_coreset"]
+
+
+def _parent_key(grids: HierarchicalGrids, cell_key: int) -> int:
+    """Key of a cell's parent one level up (nested grids ⇒ halve coords)."""
+    ck = grids.decode_cell_key(int(cell_key))
+    if ck.level == 0:
+        return ROOT_CELL_KEY
+    parent = np.floor_divide(np.asarray(ck.coords, dtype=np.int64), 2)
+    return grids.encode_cell(parent, ck.level - 1)
+
+
+def assemble_coreset(params: CoresetParams, o: float, grids: HierarchicalGrids,
+                     res_h, res_hp, res_hhat) -> Coreset:
+    """Replay Algorithms 1+2 from decoded Storing results (one per level).
+
+    Shared by the streaming (Theorem 4.5) and distributed (Theorem 4.7)
+    drivers — the coordinator holds merged StoringResults with identical
+    semantics.  ``res_h``/``res_hp``/``res_hhat`` are lists indexed by level
+    0…L of :class:`~repro.streaming.storing.StoringResult`.
+
+    Raises :class:`FailedConstruction` with the paper's FAIL conditions.
+    """
+    L = params.L
+
+    # --- Algorithm 1: heavy cells, top-down. -------------------------------
+    heavy: dict[int, set] = {}
+    total_q = sum(res_h[0].cells.values()) / params.psi(0, o)
+    heavy[-1] = {ROOT_CELL_KEY} if total_q >= params.threshold(-1, o) else set()
+    if not heavy[-1] and total_q > 0:
+        # Fact A.1: the root is heavy whenever o ≤ OPT; an un-heavy root
+        # means the guess overshot and the whole input would be dropped.
+        raise FailedConstruction(
+            f"assemble: root cell not heavy (guess o={o:g} too large)"
+        )
+    total_heavy = len(heavy[-1])
+    for i in range(0, L):
+        psi = params.psi(i, o)
+        level_heavy = set()
+        for cell, cnt in res_h[i].cells.items():
+            if cnt / psi < params.threshold(i, o):
+                continue
+            if _parent_key(grids, cell) in heavy[i - 1]:
+                level_heavy.add(cell)
+        heavy[i] = level_heavy
+        total_heavy += len(level_heavy)
+        if total_heavy > params.max_heavy_cells():
+            raise FailedConstruction(
+                f"assemble: {total_heavy} heavy cells exceed "
+                f"{params.max_heavy_cells():.0f} (o={o:g})"
+            )
+    heavy[L] = set()
+
+    # --- crucial cells and part sizes from the h' sketches. ----------------
+    part_tau: dict[tuple[int, int], float] = {}
+    for i in range(0, L + 1):
+        psip = params.psi_part(i, o)
+        level_mass = 0.0
+        for cell, cnt in res_hp[i].cells.items():
+            if i < L and cell in heavy[i]:
+                continue
+            parent = _parent_key(grids, cell)
+            if parent not in heavy[i - 1]:
+                continue
+            est = cnt / psip
+            key = (i, int(parent))
+            part_tau[key] = part_tau.get(key, 0.0) + est
+            level_mass += est
+        if level_mass > params.max_level_mass(i, o):
+            raise FailedConstruction(
+                f"assemble: level {i} mass {level_mass:.1f} exceeds "
+                f"{params.max_level_mass(i, o):.1f} (o={o:g})"
+            )
+
+    # --- coreset samples from the ĥ sketches. ------------------------------
+    retained: dict[tuple[int, int], int] = {}
+    parts_info: list[PartInfo] = []
+    pts_rows: list[np.ndarray] = []
+    weights: list[float] = []
+    part_ids: list[int] = []
+    for i in range(0, L + 1):
+        phi = params.phi(i, o)
+        cutoff = params.small_part_cutoff(i, o)
+        res = res_hhat[i]
+        beta = params.storing_beta(i, o)
+        for cell, cnt in res.cells.items():
+            # Crucial-cell test mirrors the h'-stream logic.
+            if i < L and cell in heavy[i]:
+                continue
+            parent = _parent_key(grids, cell)
+            if parent not in heavy[i - 1]:
+                continue
+            key = (i, int(parent))
+            tau = part_tau.get(key, 0.0)
+            if tau < cutoff:
+                continue  # dropped small part (Lemma 3.4)
+            if cnt > beta:
+                raise FailedConstruction(
+                    f"assemble: crucial cell at level {i} holds {cnt} "
+                    f"samples > beta={beta} (o={o:g})"
+                )
+            if key not in retained:
+                retained[key] = len(parts_info)
+                parts_info.append(PartInfo(
+                    level=i, parent_cell_key=int(parent),
+                    size_estimate=tau, phi=phi,
+                ))
+            pid = retained[key]
+            for pkey, pcnt in res.small_points.get(cell, {}).items():
+                row = grids.point_codec.decode(pkey)
+                for _ in range(int(pcnt)):
+                    pts_rows.append(row)
+                    weights.append(1.0 / phi)
+                    part_ids.append(pid)
+
+    if pts_rows:
+        q_points = np.stack(pts_rows).astype(np.int64)
+        q_weights = np.asarray(weights)
+        q_part_ids = np.asarray(part_ids, dtype=np.int64)
+    else:
+        q_points = np.empty((0, params.d), dtype=np.int64)
+        q_weights = np.empty(0)
+        q_part_ids = np.empty(0, dtype=np.int64)
+    return Coreset(
+        points=q_points, weights=q_weights, part_ids=q_part_ids,
+        parts=parts_info, o=float(o), delta=params.delta, input_size=-1,
+    )
+
+
+class _SharedHashes:
+    """One λ-wise hash polynomial per (level, sub-stream); every guess-o
+    instance reuses the same field values with its own threshold, exactly as
+    if each instance drew its own function — Bernoulli(φ) needs only
+    ``value < φ·p`` — while paying the Horner evaluation once."""
+
+    def __init__(self, params: CoresetParams, grids: HierarchicalGrids, seed: int):
+        ub = grids.point_codec.universe_bits
+        self.h = [KWiseHash(params.lam_est, ub, seed=derive_seed(seed, f"h-{i}"))
+                  for i in range(params.L + 1)]
+        self.hp = [KWiseHash(params.lam_est, ub, seed=derive_seed(seed, f"hp-{i}"))
+                   for i in range(params.L + 1)]
+        self.hhat = [KWiseHash(params.lam, ub, seed=derive_seed(seed, f"hhat-{i}"))
+                     for i in range(params.L + 1)]
+
+    def randomness_bits(self) -> int:
+        """Total bits of stored hash-polynomial randomness."""
+        return sum(f.randomness_bits for f in self.h + self.hp + self.hhat)
+
+
+class StreamingCoresetInstance:
+    """Algorithm 4 for one fixed guess ``o``."""
+
+    def __init__(
+        self,
+        params: CoresetParams,
+        o: float,
+        grids: HierarchicalGrids,
+        shared: _SharedHashes,
+        seed: int = 0,
+        backend: str = "exact",
+        early_kill_factor: float | None = 32.0,
+    ):
+        self.params = params
+        self.o = float(o)
+        self.grids = grids
+        self.shared = shared
+        self.backend = backend
+        self.dead_reason: str | None = None
+        self._early_kill = early_kill_factor if backend == "exact" else None
+        L = params.L
+
+        def make_storing(alpha: int, beta: int, recover: bool, tag: str):
+            """Construct one Storing structure for the chosen backend."""
+            if backend == "exact":
+                return ExactStoring(alpha, beta, recover_points=recover)
+            if backend == "sketch":
+                return SketchStoring(
+                    alpha, beta,
+                    cell_universe_bits=grids.cell_universe_bits,
+                    point_universe_bits=grids.point_codec.universe_bits,
+                    seed=derive_seed(seed, f"{tag}-o{self.o:g}"),
+                    recover_points=recover,
+                )
+            raise ValueError(f"unknown backend {backend!r}")
+
+        # Acceptance thresholds against the shared hash values.
+        self._thr_h, self._thr_hp, self._thr_hhat = [], [], []
+        self.store_h, self.store_hp, self.store_hhat = [], [], []
+        for i in range(L + 1):
+            psi = params.psi(i, o)
+            psip = params.psi_part(i, o)
+            phi = params.phi(i, o)
+            self._thr_h.append(int(psi * shared.h[i].prime))
+            self._thr_hp.append(int(psip * shared.hp[i].prime))
+            self._thr_hhat.append(int(phi * shared.hhat[i].prime))
+            self.store_h.append(make_storing(
+                params.storing_alpha(i, o, psi), 1, False, f"st-h-{i}"))
+            self.store_hp.append(make_storing(
+                params.storing_alpha(i, o, psip), 1, False, f"st-hp-{i}"))
+            self.store_hhat.append(make_storing(
+                params.storing_alpha(i, o, phi), params.storing_beta(i, o),
+                True, f"st-hhat-{i}"))
+
+    # -- streaming -----------------------------------------------------------
+    def update_with_values(self, point_key: int, cell_keys, sign: int,
+                           values_h, values_hp, values_hhat) -> None:
+        """Process one update given precomputed hash values per level."""
+        if self.dead_reason is not None:
+            return
+        for i in range(self.params.L + 1):
+            ck = int(cell_keys[i])
+            if values_h[i] < self._thr_h[i]:
+                self.store_h[i].update(ck, point_key, sign)
+                if self._early_kill is not None:
+                    store = self.store_h[i]
+                    if len(store._cells) > self._early_kill * store.alpha:
+                        self.dead_reason = (
+                            f"level {i} cell count blew past "
+                            f"{self._early_kill:g}x alpha (o={self.o:g})"
+                        )
+                        return
+            if values_hp[i] < self._thr_hp[i]:
+                self.store_hp[i].update(ck, point_key, sign)
+            if values_hhat[i] < self._thr_hhat[i]:
+                self.store_hhat[i].update(ck, point_key, sign)
+
+    # -- finalization ----------------------------------------------------------
+    def finalize(self) -> Coreset:
+        """Replay Algorithms 1+2 from the decoded sketches; may FAIL."""
+        if self.dead_reason is not None:
+            raise FailedConstruction(self.dead_reason)
+        res_h = [s.result() for s in self.store_h]
+        res_hp = [s.result() for s in self.store_hp]
+        res_hhat = [s.result() for s in self.store_hhat]
+        return assemble_coreset(self.params, self.o, self.grids,
+                                res_h, res_hp, res_hhat)
+
+    # -- accounting -----------------------------------------------------------
+    def space_bits(self) -> int:
+        """Total sketch space (bits) of this instance."""
+        total = 0
+        for group in (self.store_h, self.store_hp, self.store_hhat):
+            for s in group:
+                total += s.space_bits()
+        return total
+
+
+class StreamingCoreset:
+    """Theorem 4.5: parallel guess-o instances over one dynamic stream.
+
+    Parameters
+    ----------
+    params:
+        Problem parameters; the guess schedule spans [1, Δ^d·(√dΔ)^r] (the
+        paper's predetermined range — the stream length is unknown a priori).
+    backend:
+        ``"exact"`` (dictionary Storing; fast reference) or ``"sketch"``
+        (true sublinear IBLT sketches; what E3 measures).
+    o_range:
+        Optional (lo, hi) to restrict the guesses, standing in for the
+        streaming 2-approximation of OPT the paper runs in parallel
+        ([HSYZ18]); guesses outside the window provably FAIL or lose to a
+        smaller non-FAIL guess.
+    auto_pilot:
+        When True (default if no ``o_range`` is given), maintain an
+        ℓ₀-sampler alongside the sketches; at finalize time a k-means++
+        pilot on the recovered uniform sample of the *live* set upper-bounds
+        OPT and anchors the guess selection — the fully single-pass,
+        deletion-proof replacement for the parallel OPT estimator.
+    """
+
+    def __init__(
+        self,
+        params: CoresetParams,
+        seed: int = 0,
+        backend: str = "exact",
+        o_range: tuple[float, float] | None = None,
+        grids: HierarchicalGrids | None = None,
+        prefer: str | None = None,
+        auto_pilot: bool | None = None,
+    ):
+        """``prefer`` picks among non-FAIL guesses at finalize time:
+        ``"smallest"`` is Theorem 3.19's rule (always quality-safe);
+        ``"largest"`` maximizes compression and is the right choice when
+        ``o_range`` is anchored by an OPT estimate (the Theorem 4.5 setting,
+        where o ∈ [OPT/10, OPT]).  Default: largest when an ``o_range`` is
+        given, smallest otherwise."""
+        if auto_pilot is None:
+            auto_pilot = o_range is None
+        if prefer is None:
+            prefer = "largest" if (o_range is not None or auto_pilot) else "smallest"
+        if prefer not in ("largest", "smallest"):
+            raise ValueError(f"prefer must be 'largest' or 'smallest', got {prefer!r}")
+        self.prefer = prefer
+        self.params = params
+        self.grids = grids if grids is not None else HierarchicalGrids(
+            params.delta, params.d, seed=derive_seed(seed, "grids"))
+        self.shared = _SharedHashes(params, self.grids, derive_seed(seed, "hashes"))
+        top = (params.delta ** params.d) * (math.sqrt(params.d) * params.delta) ** params.r
+        lo, hi = (1.0, top) if o_range is None else (max(1.0, o_range[0]), o_range[1])
+        self.instances: list[StreamingCoresetInstance] = []
+        o = 1.0
+        while o <= top * 2:
+            if lo <= o <= hi or (o <= lo < 2 * o):
+                self.instances.append(StreamingCoresetInstance(
+                    params, o, self.grids, self.shared,
+                    seed=derive_seed(seed, f"inst-{o:g}"), backend=backend,
+                ))
+            o *= 2.0
+        self.num_updates = 0
+        self._value_cache: dict[int, tuple] = {}
+        self._pilot_sampler = None
+        if auto_pilot:
+            from repro.streaming.l0sampler import DistinctSampler
+
+            self._pilot_sampler = DistinctSampler(
+                sample_size=512,
+                universe_bits=self.grids.point_codec.universe_bits,
+                seed=derive_seed(seed, "pilot-l0"),
+            )
+
+    #: Entries kept in the per-point hash-value cache (a deletion re-hashes
+    #: the same key as its insertion; caching halves the Horner work on
+    #: churn streams).  Values are deterministic per key, so the cache can
+    #: never go stale; eviction is arbitrary.
+    VALUE_CACHE_LIMIT = 200_000
+
+    # -- streaming ------------------------------------------------------------
+    def update(self, point, sign: int) -> None:
+        """Process one insertion (+1) / deletion (−1)."""
+        row = np.asarray(point, dtype=np.int64)[None, :]
+        pkey = int(self.grids.point_keys(row)[0])
+        cached = self._value_cache.get(pkey)
+        if cached is None:
+            levels = range(self.params.L + 1)
+            cached = (
+                [int(self.grids.cell_keys(row, i)[0]) for i in levels],
+                [self.shared.h[i].value(pkey) for i in levels],
+                [self.shared.hp[i].value(pkey) for i in levels],
+                [self.shared.hhat[i].value(pkey) for i in levels],
+            )
+            if len(self._value_cache) >= self.VALUE_CACHE_LIMIT:
+                self._value_cache.pop(next(iter(self._value_cache)))
+            self._value_cache[pkey] = cached
+        cell_keys, vh, vhp, vhh = cached
+        for inst in self.instances:
+            inst.update_with_values(pkey, cell_keys, sign, vh, vhp, vhh)
+        if self._pilot_sampler is not None:
+            self._pilot_sampler.update(pkey, sign)
+        self.num_updates += 1
+
+    def process(self, stream) -> None:
+        """Consume an iterable of :class:`StreamEvent` (or (point, sign) pairs).
+
+        Hash values for all distinct points are precomputed in vectorized
+        batches (one Horner sweep per level/sub-stream instead of one per
+        event), then events replay through the cache in order.
+        """
+        events = [(ev.point, ev.sign) if isinstance(ev, StreamEvent) else (tuple(ev[0]), ev[1])
+                  for ev in stream]
+        distinct = [p for p in dict.fromkeys(pt for pt, _ in events)
+                    if True]
+        for lo in range(0, len(distinct), self.VALUE_CACHE_LIMIT // 2):
+            self._prefill_cache(distinct[lo: lo + self.VALUE_CACHE_LIMIT // 2])
+        for point, sign in events:
+            self.update(point, sign)
+
+    def _prefill_cache(self, points: list) -> None:
+        """Batch-compute keys and hash values for a chunk of distinct points."""
+        if not points:
+            return
+        rows = np.asarray(points, dtype=np.int64)
+        pkeys = [int(x) for x in self.grids.point_keys(rows)]
+        levels = range(self.params.L + 1)
+        cell_keys = [self.grids.cell_keys(rows, i) for i in levels]
+        vh = [self.shared.h[i].values(pkeys) for i in levels]
+        vhp = [self.shared.hp[i].values(pkeys) for i in levels]
+        vhh = [self.shared.hhat[i].values(pkeys) for i in levels]
+        cache = self._value_cache
+        for idx, pk in enumerate(pkeys):
+            if len(cache) >= self.VALUE_CACHE_LIMIT:
+                cache.pop(next(iter(cache)))
+            cache[pk] = (
+                [int(cell_keys[i][idx]) for i in levels],
+                [vh[i][idx] for i in levels],
+                [vhp[i][idx] for i in levels],
+                [vhh[i][idx] for i in levels],
+            )
+
+    # -- results ---------------------------------------------------------------
+    def finalize(self) -> Coreset:
+        """Return the coreset of the preferred non-FAIL guess.
+
+        Non-destructive: decoding copies the sketches, so this may be called
+        at any point of the stream (a *snapshot* of the current live set)
+        and streaming can continue afterwards.
+        """
+        return self.finalize_with_instance()[0]
+
+    #: Alias making the any-time-query semantics explicit.
+    snapshot = finalize
+
+    def finalize_with_instance(self):
+        """Like :meth:`finalize` but also returns the winning instance."""
+        last = "no instances"
+        order = self.instances if self.prefer == "smallest" else self.instances[::-1]
+        cap = self._pilot_upper_bound()
+        deferred = []
+        for inst in order:
+            if cap is not None and inst.o > cap:
+                deferred.append(inst)  # above the OPT estimate: try last
+                continue
+            try:
+                return inst.finalize(), inst
+            except FailedConstruction as exc:
+                last = exc.reason
+        for inst in deferred:
+            try:
+                return inst.finalize(), inst
+            except FailedConstruction as exc:
+                last = exc.reason
+        raise FailedConstruction(f"all streaming guesses failed; last: {last}")
+
+    def _pilot_upper_bound(self) -> float | None:
+        """Estimate of OPT/4 from the ℓ₀-sampler (None without auto_pilot).
+
+        A k-means++/Lloyd solution on a uniform sample of the live set,
+        scaled by the estimated live count, upper-bounds OPT up to sampling
+        noise; dividing by 4 keeps the anchor on the safe (≤ OPT) side,
+        mirroring the offline pilot/8 descent.
+        """
+        if self._pilot_sampler is None:
+            return None
+        keys, live_estimate = self._pilot_sampler.sample()
+        if len(keys) < max(2 * self.params.k, 8) or live_estimate <= 0:
+            return None
+        from repro.solvers.lloyd import lloyd
+
+        pts = self.grids.point_codec.decode_many(keys).astype(np.float64)
+        res = lloyd(pts, min(self.params.k, len(pts)), r=self.params.r,
+                    seed=derive_seed(0, "pilot-lloyd"), max_iter=8)
+        pilot = res.cost * live_estimate / len(pts)
+        return max(1.0, pilot / 4.0)
+
+    def space_bits(self) -> int:
+        """Total bits across all live instances plus shared randomness."""
+        return (sum(inst.space_bits() for inst in self.instances)
+                + self.shared.randomness_bits())

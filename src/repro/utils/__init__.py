@@ -1,0 +1,24 @@
+"""Shared utilities: seeded randomness, validation, and bit-size accounting."""
+
+from repro.utils.rng import spawn_rng, derive_seed
+from repro.utils.validation import (
+    check_points,
+    check_delta,
+    check_epsilon_eta,
+    check_k,
+    FailedConstruction,
+)
+from repro.utils.bits import int_bits, point_bits, cells_bits
+
+__all__ = [
+    "spawn_rng",
+    "derive_seed",
+    "check_points",
+    "check_delta",
+    "check_epsilon_eta",
+    "check_k",
+    "FailedConstruction",
+    "int_bits",
+    "point_bits",
+    "cells_bits",
+]

@@ -1,0 +1,59 @@
+"""Bit-size accounting for space/communication measurements.
+
+Theorems 4.5 and 4.7 are statements about *bits* of memory/communication.
+The simulated streaming sketches and the distributed protocol charge
+themselves using these helpers so experiments E3 and E7 can report exact bit
+counts rather than Python object sizes (which would measure the interpreter,
+not the algorithm).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+__all__ = ["int_bits", "point_bits", "cells_bits", "float_bits", "counter_bits"]
+
+#: Bits charged for one floating-point word (weights, distances).
+FLOAT_BITS = 64
+
+
+def int_bits(value: int) -> int:
+    """Bits to represent a non-negative integer (at least 1 bit)."""
+    v = abs(int(value))
+    return max(1, v.bit_length())
+
+
+def counter_bits(max_abs: int) -> int:
+    """Bits for a signed counter with magnitude up to ``max_abs``."""
+    return int_bits(max_abs) + 1
+
+
+def point_bits(d: int, delta: int) -> int:
+    """Bits to represent one point of [Δ]^d: d·log2(Δ).
+
+    This is the paper's footnote-1 unit ("d log Δ is the space required to
+    represent one point").
+    """
+    return int(d) * max(1, math.ceil(math.log2(delta)))
+
+
+def cells_bits(num_cells: int, d: int, delta: int, levels: int) -> int:
+    """Bits to represent ``num_cells`` grid-cell identifiers.
+
+    A cell at any level is determined by its level index (log2 of number of
+    levels) plus d coordinates each in a range at most 2Δ (the shifted grid
+    can hang over the edge by one cell).
+    """
+    per_cell = max(1, math.ceil(math.log2(max(2, levels)))) + point_bits(d, 2 * delta)
+    return int(num_cells) * per_cell
+
+
+def float_bits(count: int = 1) -> int:
+    """Bits charged for ``count`` floating-point words."""
+    return FLOAT_BITS * int(count)
+
+
+def total_bits(parts: Iterable[int]) -> int:
+    """Sum a collection of bit counts."""
+    return int(sum(int(p) for p in parts))

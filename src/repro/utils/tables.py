@@ -1,0 +1,36 @@
+"""Minimal fixed-width table rendering for CLI and report output."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+__all__ = ["format_table", "render_table"]
+
+
+def _fmt(v) -> str:
+    if isinstance(v, float):
+        if v == 0 or (1e-3 < abs(v) < 1e5):
+            return f"{v:.3f}"
+        return f"{v:.3g}"
+    return str(v)
+
+
+def format_table(header: Iterable, rows: Iterable[Iterable]) -> str:
+    """Render a header + rows as an aligned text table."""
+    header = [str(h) for h in header]
+    srows = [[_fmt(v) for v in r] for r in rows]
+    widths = [
+        max(len(h), max((len(r[i]) for r in srows), default=0))
+        for i, h in enumerate(header)
+    ]
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(header, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    lines += ["  ".join(v.ljust(w) for v, w in zip(r, widths)) for r in srows]
+    return "\n".join(lines)
+
+
+def render_table(title: str, header: Iterable, rows: Iterable[Iterable]) -> str:
+    """Format with a title banner."""
+    return f"=== {title} ===\n{format_table(header, rows)}"

@@ -1,0 +1,89 @@
+"""Input validation helpers and the library-wide FAIL exception.
+
+The paper's algorithms explicitly output ``FAIL`` when internal invariants
+(number of heavy cells, estimated part sizes, sketch capacities) are violated
+for a given guess ``o`` of the optimal clustering cost.  We mirror that with
+:class:`FailedConstruction`, which drivers such as the guess-``o`` enumeration
+of Theorem 3.19 catch and interpret as "try the next guess".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "FailedConstruction",
+    "check_points",
+    "check_delta",
+    "check_epsilon_eta",
+    "check_k",
+    "check_weights",
+]
+
+
+class FailedConstruction(RuntimeError):
+    """Raised when an algorithm outputs FAIL (paper semantics).
+
+    Carries a ``reason`` string naming the violated check, so ablation
+    experiments can distinguish failure modes.
+    """
+
+    def __init__(self, reason: str):
+        super().__init__(reason)
+        self.reason = reason
+
+
+def check_delta(delta: int) -> int:
+    """Validate the coordinate range Δ; must be an integer power of two ≥ 2.
+
+    The paper assumes Δ = 2^L without loss of generality (round up otherwise).
+    """
+    delta = int(delta)
+    if delta < 2 or (delta & (delta - 1)) != 0:
+        raise ValueError(f"delta must be a power of two >= 2, got {delta}")
+    return delta
+
+
+def check_points(points: np.ndarray, delta: int) -> np.ndarray:
+    """Validate a point set Q ⊆ [Δ]^d given as an (n, d) integer array."""
+    q = np.asarray(points)
+    if q.ndim != 2:
+        raise ValueError(f"points must be a 2-D array (n, d), got shape {q.shape}")
+    if not np.issubdtype(q.dtype, np.integer):
+        raise ValueError(
+            "points must be integers in [1, delta]; use repro.grid.discretize "
+            f"for real-valued data (got dtype {q.dtype})"
+        )
+    if q.size and (q.min() < 1 or q.max() > delta):
+        raise ValueError(
+            f"point coordinates must lie in [1, {delta}], got range "
+            f"[{q.min()}, {q.max()}]"
+        )
+    return q.astype(np.int64, copy=False)
+
+
+def check_epsilon_eta(eps: float, eta: float) -> tuple[float, float]:
+    """Validate ε, η ∈ (0, 0.5) as required by Theorems 1.1-1.3."""
+    if not (0.0 < eps < 0.5):
+        raise ValueError(f"epsilon must be in (0, 0.5), got {eps}")
+    if not (0.0 < eta < 0.5):
+        raise ValueError(f"eta must be in (0, 0.5), got {eta}")
+    return float(eps), float(eta)
+
+
+def check_k(k: int) -> int:
+    """Validate the number of clusters k ≥ 1."""
+    k = int(k)
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    return k
+
+
+def check_weights(weights: np.ndarray, n: int) -> np.ndarray:
+    """Validate a positive weight vector aligned with n points."""
+    w = np.asarray(weights, dtype=np.float64)
+    if w.shape != (n,):
+        raise ValueError(f"weights must have shape ({n},), got {w.shape}")
+    if w.size and w.min() <= 0:
+        raise ValueError("weights must be strictly positive")
+    return w

@@ -1,0 +1,25 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.params import CoresetParams
+from repro.data.synthetic import gaussian_mixture
+
+
+@pytest.fixture
+def small_mixture():
+    """A small, fast mixture instance: (points, params, planted means)."""
+    pts, means, labels = gaussian_mixture(
+        1200, 2, 256, k=3, spread=0.02, seed=11, return_truth=True
+    )
+    pts = np.unique(pts, axis=0)
+    params = CoresetParams.practical(k=3, d=2, delta=256, eps=0.25, eta=0.25)
+    return pts, params, means.astype(np.float64)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(1234)

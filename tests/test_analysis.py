@@ -1,0 +1,76 @@
+"""Tests for the executable theory-bound formulas."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    coreset_size_bound,
+    heavy_cells_bound,
+    num_guesses,
+    small_part_removal_error,
+    storing_space_bound_bits,
+)
+from repro.core import CoresetParams, build_coreset_auto
+from repro.data.synthetic import gaussian_mixture
+
+
+@pytest.fixture(scope="module")
+def params():
+    return CoresetParams.practical(k=3, d=2, delta=256)
+
+
+class TestBounds:
+    def test_coreset_size_bound_dominates_measured(self, params):
+        pts = np.unique(gaussian_mixture(3000, 2, 256, k=3, seed=2), axis=0)
+        cs = build_coreset_auto(pts, params, seed=3)
+        assert len(cs) < coreset_size_bound(params)
+
+    def test_coreset_size_bound_monotone(self):
+        a = CoresetParams.practical(k=2, d=2, delta=256)
+        b = CoresetParams.practical(k=8, d=2, delta=256)
+        assert coreset_size_bound(b) > coreset_size_bound(a)
+        c = CoresetParams.practical(k=2, d=2, delta=256, eps=0.1, eta=0.1)
+        assert coreset_size_bound(c) > coreset_size_bound(a)
+
+    def test_heavy_cells_bound_scales_with_guess_gap(self, params):
+        assert heavy_cells_bound(params, 10.0) == 10 * heavy_cells_bound(params, 1.0)
+
+    def test_heavy_cells_bound_dominates_measured(self, params):
+        from repro.core.partition import partition_heavy_cells
+        from repro.grid.grids import HierarchicalGrids
+
+        pts = np.unique(gaussian_mixture(3000, 2, 256, k=3, seed=4), axis=0)
+        grids = HierarchicalGrids(256, 2, seed=1)
+        o = len(pts) * 2 * (0.02 * 256) ** 2  # ~OPT ballpark
+        part = partition_heavy_cells(pts, params, o, grids)
+        assert part.total_heavy <= heavy_cells_bound(params, 10.0)
+
+    def test_num_guesses(self, params):
+        offline = num_guesses(params, n=10_000)
+        streaming = num_guesses(params)
+        # Streaming enumerates over the universe range -> strictly longer.
+        assert streaming > offline > 10
+
+    def test_small_part_removal_premise(self, params):
+        eps_c, eta_c = small_part_removal_error(params)
+        # Practical gamma certifies only loose constants (documented).
+        assert eps_c > params.eps
+        assert eta_c > 0
+        # The theory gamma certifies the advertised (eps, eta).
+        theory = CoresetParams.from_theory(k=3, d=2, delta=256,
+                                           eps=0.25, eta=0.25)
+        eps_t, eta_t = small_part_removal_error(theory)
+        assert eps_t <= theory.eps + 1e-12
+        assert eta_t <= theory.eta + 1e-12
+
+    def test_storing_space_bound_positive_and_flat_in_o(self, params):
+        a = storing_space_bound_bits(params, 1e5)
+        b = storing_space_bound_bits(params, 1e7)
+        assert a > 0 and b > 0
+        # The rate·T products are capped by constants, so the bound moves
+        # slowly with o.
+        assert 0.05 < a / b < 20

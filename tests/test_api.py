@@ -1,0 +1,80 @@
+"""Tests for the high-level BalancedKMeans facade."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import BalancedKMeans
+
+
+def city(n=3000, seed=0):
+    rng = np.random.default_rng(seed)
+    a = rng.normal((0, 0), 0.4, size=(int(n * 0.6), 2))
+    b = rng.normal((6, 1), 0.5, size=(int(n * 0.25), 2))
+    c = rng.normal((2, 7), 0.5, size=(n - len(a) - len(b), 2))
+    return np.vstack([a, b, c])
+
+
+class TestBalancedKMeans:
+    @pytest.fixture(scope="class")
+    def fitted(self):
+        model = BalancedKMeans(k=3, capacity_slack=1.1, delta=512, seed=5)
+        return model.fit(city()), city()
+
+    def test_labels_and_centers_shapes(self, fitted):
+        model, X = fitted
+        assert model.labels_.shape == (len(X),)
+        assert model.centers_.shape == (3, 2)
+        assert model.coreset_ is not None
+
+    def test_loads_balanced(self, fitted):
+        model, X = fitted
+        # The raw data is 60/25/15 unbalanced; the fit must be ≤ ~slack·(1+O(η)).
+        assert model.max_load_ratio() <= 1.1 * (1 + 4 * 0.25)
+        # And far more balanced than the data distribution itself.
+        assert model.max_load_ratio() < 0.6 * 3
+
+    def test_centers_near_data_scale(self, fitted):
+        model, X = fitted
+        # Centers live in the original coordinate frame.
+        assert model.centers_[:, 0].min() > X[:, 0].min() - 1
+        assert model.centers_[:, 0].max() < X[:, 0].max() + 1
+
+    def test_predict_nearest(self, fitted):
+        model, _ = fitted
+        fresh = city(seed=9)[:200]
+        labels = model.predict(fresh)
+        assert labels.shape == (200,)
+        assert set(labels.tolist()) <= {0, 1, 2}
+
+    def test_predict_with_capacity(self, fitted):
+        model, _ = fitted
+        fresh = city(seed=10)[:300]
+        labels = model.predict(fresh, respect_capacity=True)
+        assert np.bincount(labels, minlength=3).max() <= 300 / 3 * 1.1 + 3
+
+    def test_fit_predict(self):
+        X = city(800, seed=3)
+        labels = BalancedKMeans(k=2, delta=256, seed=1).fit_predict(X)
+        assert labels.shape == (800,)
+
+    def test_kmedian_mode(self):
+        X = city(800, seed=4)
+        model = BalancedKMeans(k=3, r=1.0, delta=256, seed=2).fit(X)
+        assert model.centers_.shape == (3, 2)
+
+    def test_errors(self):
+        model = BalancedKMeans(k=3)
+        with pytest.raises(RuntimeError):
+            model.predict(np.zeros((2, 2)))
+        with pytest.raises(ValueError):
+            model.fit(np.zeros((2, 2)))  # n < k
+
+    def test_duplicate_rows_counted_in_loads(self):
+        X = np.vstack([np.tile([[0.0, 0.0]], (50, 1)),
+                       np.tile([[10.0, 10.0]], (50, 1))])
+        rng = np.random.default_rng(5)
+        X = X + rng.normal(0, 0.01, X.shape)
+        model = BalancedKMeans(k=2, capacity_slack=1.2, delta=64, seed=3).fit(X)
+        assert model.sizes_.sum() == 100

@@ -1,0 +1,121 @@
+"""Tests for the baseline coresets (uniform / sensitivity / BBLM14)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import ThreePassMappingCoreset, sensitivity_coreset, uniform_coreset
+from repro.data.synthetic import gaussian_mixture, unbalanced_mixture
+from repro.data.workloads import churn_stream, insertion_stream
+from repro.metrics.costs import uncapacitated_cost
+from repro.solvers.kmeanspp import kmeans_plusplus
+
+
+@pytest.fixture(scope="module")
+def pts():
+    return np.unique(gaussian_mixture(3000, 2, 256, k=3, seed=9), axis=0)
+
+
+class TestUniform:
+    def test_shape_and_weights(self, pts):
+        ws = uniform_coreset(pts, 200, seed=1)
+        assert len(ws) == 200
+        assert ws.total_weight == pytest.approx(len(pts))
+
+    def test_unbiased_uncapacitated_cost(self, pts):
+        Z = kmeans_plusplus(pts.astype(float), 3, seed=2)
+        full = uncapacitated_cost(pts, Z)
+        ests = [
+            uncapacitated_cost(u.points, Z, weights=u.weights)
+            for u in (uniform_coreset(pts, 400, seed=s) for s in range(12))
+        ]
+        assert np.mean(ests) == pytest.approx(full, rel=0.15)
+
+    def test_size_capped_at_n(self, pts):
+        assert len(uniform_coreset(pts[:50], 500, seed=0)) == 50
+
+    def test_invalid_size(self, pts):
+        with pytest.raises(ValueError):
+            uniform_coreset(pts, 0)
+
+    def test_misses_small_expensive_cluster(self):
+        """The failure mode the paper's construction fixes: a 1% far-away
+        cluster is usually missed entirely by a small uniform sample."""
+        rng = np.random.default_rng(3)
+        big = rng.normal((50, 50), 2, size=(4950, 2))
+        small = rng.normal((200, 200), 1, size=(50, 2))
+        pts = np.clip(np.rint(np.vstack([big, small])), 1, 256).astype(np.int64)
+        misses = 0
+        for s in range(10):
+            u = uniform_coreset(pts, 40, seed=s)
+            if not (u.points[:, 0] > 150).any():
+                misses += 1
+        assert misses >= 5
+
+
+class TestSensitivity:
+    def test_covers_small_expensive_cluster(self):
+        """Sensitivity sampling does cover cost-heavy outlier clusters —
+        its failure is capacitated, not uncapacitated (see E6)."""
+        rng = np.random.default_rng(3)
+        big = rng.normal((50, 50), 2, size=(4950, 2))
+        small = rng.normal((200, 200), 1, size=(50, 2))
+        pts = np.clip(np.rint(np.vstack([big, small])), 1, 256).astype(np.int64)
+        hits = 0
+        for s in range(10):
+            sc = sensitivity_coreset(pts, k=2, size=40, seed=s)
+            if (sc.points[:, 0] > 150).any():
+                hits += 1
+        assert hits >= 8
+
+    def test_weight_mass_approximates_n(self, pts):
+        sc = sensitivity_coreset(pts, k=3, size=500, seed=1)
+        assert sc.total_weight == pytest.approx(len(pts), rel=0.35)
+
+    def test_uncapacitated_cost_preserved(self, pts):
+        Z = kmeans_plusplus(pts.astype(float), 3, seed=4)
+        full = uncapacitated_cost(pts, Z)
+        sc = sensitivity_coreset(pts, k=3, size=600, seed=2)
+        est = uncapacitated_cost(sc.points, Z, weights=sc.weights)
+        assert est == pytest.approx(full, rel=0.3)
+
+
+class TestBBLM14:
+    def test_three_pass_pipeline(self, pts):
+        stream = insertion_stream(pts, seed=5)
+        bl = ThreePassMappingCoreset(k=3, num_representatives=64, seed=1)
+        ws = bl.run(stream)
+        assert bl.passes_used == 3
+        assert ws.total_weight == pytest.approx(len(pts))
+        assert len(ws) <= 64
+        assert bl.mapping_cost > 0
+
+    def test_rejects_deletions(self, pts):
+        stream = churn_stream(pts, delete_fraction=0.3, seed=2)
+        bl = ThreePassMappingCoreset(k=3, num_representatives=64, seed=1)
+        bl.start_pass(1)
+        with pytest.raises(NotImplementedError):
+            for ev in stream:
+                bl.update(ev)
+
+    def test_passes_must_run_in_order(self, pts):
+        bl = ThreePassMappingCoreset(k=3, num_representatives=16, seed=1)
+        with pytest.raises(ValueError):
+            bl.start_pass(2)
+
+    def test_result_before_passes_raises(self):
+        bl = ThreePassMappingCoreset(k=2, num_representatives=8)
+        with pytest.raises(RuntimeError):
+            bl.result()
+
+    def test_mapping_cost_reasonable(self, pts):
+        """The mapping coreset's representatives track cluster structure:
+        mapping cost is within a small factor of a k-means solution with the
+        same budget of centers."""
+        stream = insertion_stream(pts, seed=5)
+        bl = ThreePassMappingCoreset(k=3, num_representatives=48, seed=1)
+        bl.run(stream)
+        ref = uncapacitated_cost(
+            pts, kmeans_plusplus(pts.astype(float), 48, seed=3))
+        assert bl.mapping_cost <= 10 * ref + 1e-9

@@ -1,0 +1,165 @@
+"""Tests for capacitated assignment (LP vs flow vs brute force)."""
+
+from __future__ import annotations
+
+import itertools
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.assignment.capacitated import (
+    capacitated_assignment,
+    cluster_sizes,
+    forestify_support,
+)
+
+
+def brute_force_cost(points, centers, t, r=2.0):
+    """Optimal capacitated cost by enumerating all assignments (tiny n)."""
+    pts = np.asarray(points, dtype=float)
+    ctr = np.asarray(centers, dtype=float)
+    n, k = len(pts), len(ctr)
+    D = np.linalg.norm(pts[:, None, :] - ctr[None, :, :], axis=2) ** r
+    best = math.inf
+    for lab in itertools.product(range(k), repeat=n):
+        sizes = np.bincount(lab, minlength=k)
+        if (sizes <= t).all():
+            best = min(best, D[np.arange(n), list(lab)].sum())
+    return best
+
+
+class TestSmallExact:
+    @pytest.mark.parametrize("seed", range(6))
+    @pytest.mark.parametrize("r", [1.0, 2.0])
+    def test_matches_brute_force_unit_weights(self, seed, r):
+        rng = np.random.default_rng(seed)
+        pts = rng.integers(0, 20, size=(6, 2)).astype(float)
+        ctr = rng.integers(0, 20, size=(2, 2)).astype(float)
+        t = 3  # tight: forces balanced split
+        res = capacitated_assignment(pts, ctr, t, r=r)
+        ref = brute_force_cost(pts, ctr, t, r=r)
+        assert res.cost == pytest.approx(ref, rel=1e-6)
+        assert (res.sizes <= t + 1e-9).all()
+
+    def test_capacity_binds_vs_unconstrained(self):
+        # 5 points near center A, 1 near center B, capacity 3 each.
+        pts = np.array([[0, 0], [1, 0], [0, 1], [1, 1], [0.5, 0.5], [10, 10.0]])
+        ctr = np.array([[0.5, 0.5], [10, 10.0]])
+        res = capacitated_assignment(pts, ctr, 3, r=2.0)
+        assert res.sizes.tolist() == [3.0, 3.0]
+        # Unconstrained would put 5 points on A.
+        res_inf = capacitated_assignment(pts, ctr, 6, r=2.0)
+        assert res_inf.cost < res.cost
+
+    def test_infeasible_returns_inf(self):
+        pts = np.zeros((4, 2))
+        ctr = np.array([[1.0, 1.0]])
+        res = capacitated_assignment(pts, ctr, 3, r=2.0)
+        assert not res.feasible
+        assert math.isinf(res.cost)
+
+    def test_methods_agree(self):
+        rng = np.random.default_rng(7)
+        pts = rng.integers(0, 50, size=(12, 3)).astype(float)
+        ctr = rng.integers(0, 50, size=(3, 3)).astype(float)
+        lp = capacitated_assignment(pts, ctr, 5, method="lp", integral=False)
+        fl = capacitated_assignment(pts, ctr, 5, method="flow", integral=False)
+        assert lp.fractional_cost == pytest.approx(fl.fractional_cost, rel=1e-6)
+
+    def test_empty_input(self):
+        res = capacitated_assignment(np.empty((0, 2)), np.zeros((2, 2)), 1)
+        assert res.cost == 0.0
+        assert len(res.labels) == 0
+
+
+class TestWeighted:
+    def test_weighted_splits_at_most_k_minus_1(self):
+        rng = np.random.default_rng(3)
+        pts = rng.uniform(0, 100, size=(30, 2))
+        w = rng.uniform(0.5, 3.0, size=30)
+        ctr = rng.uniform(0, 100, size=(4, 2))
+        t = w.sum() / 4 * 1.2
+        res = capacitated_assignment(pts, ctr, t, weights=w, integral=True)
+        assert res.feasible
+        assert res.num_split <= 3  # k - 1
+
+    def test_integral_violation_bounded_by_split_weights(self):
+        rng = np.random.default_rng(5)
+        pts = rng.uniform(0, 100, size=(25, 2))
+        w = rng.uniform(0.5, 2.0, size=25)
+        ctr = rng.uniform(0, 100, size=(3, 2))
+        t = w.sum() / 3 * 1.1
+        res = capacitated_assignment(pts, ctr, t, weights=w, integral=True)
+        # Rounding ≤ k−1 split points can exceed t by at most (k−1)·max w.
+        assert res.sizes.max() <= t + (3 - 1) * w.max() + 1e-9
+
+    def test_integral_rounding_never_increases_cost(self):
+        # Split points are rounded to their nearest support center, trading
+        # capacity slack for cost — so the integral cost is ≤ the fractional
+        # optimum (the violation tests bound the slack side).
+        rng = np.random.default_rng(8)
+        pts = rng.uniform(0, 50, size=(20, 2))
+        w = rng.uniform(0.5, 2.0, size=20)
+        ctr = rng.uniform(0, 50, size=(3, 2))
+        t = w.sum() / 3 * 1.3
+        res = capacitated_assignment(pts, ctr, t, weights=w, integral=True)
+        assert res.cost <= res.fractional_cost + 1e-6
+
+    def test_sizes_match_labels(self):
+        rng = np.random.default_rng(9)
+        pts = rng.uniform(0, 50, size=(15, 2))
+        w = rng.uniform(0.5, 2.0, size=15)
+        ctr = rng.uniform(0, 50, size=(3, 2))
+        res = capacitated_assignment(pts, ctr, w.sum(), weights=w)
+        assert np.allclose(res.sizes, cluster_sizes(res.labels, 3, w))
+
+
+class TestGreedy:
+    def test_greedy_feasible_when_loose(self):
+        rng = np.random.default_rng(2)
+        pts = rng.uniform(0, 100, size=(40, 2))
+        ctr = rng.uniform(0, 100, size=(4, 2))
+        res = capacitated_assignment(pts, ctr, 15, method="greedy")
+        assert res.feasible
+        assert (res.sizes <= 15 + 1e-9).all()
+
+    def test_greedy_within_factor_of_optimal(self):
+        rng = np.random.default_rng(4)
+        pts = rng.uniform(0, 100, size=(30, 2))
+        ctr = rng.uniform(0, 100, size=(3, 2))
+        greedy = capacitated_assignment(pts, ctr, 12, method="greedy")
+        opt = capacitated_assignment(pts, ctr, 12, method="lp", integral=False)
+        assert greedy.cost >= opt.fractional_cost - 1e-9
+        assert greedy.cost <= 5 * opt.fractional_cost + 1e-9
+
+
+class TestForestify:
+    def test_cycle_removed_preserving_marginals(self):
+        # A 2x2 doubly-fractional solution (one cycle).
+        X = np.array([[0.5, 0.5], [0.5, 0.5]])
+        D = np.array([[1.0, 2.0], [2.0, 1.0]])
+        out = forestify_support(X, D)
+        assert np.allclose(out.sum(axis=1), X.sum(axis=1))
+        assert np.allclose(out.sum(axis=0), X.sum(axis=0))
+        # Forest support: at most n + k - 1 = 3 edges.
+        assert (out > 1e-9).sum() <= 3
+        # Cost must not increase.
+        assert (out * D).sum() <= (X * D).sum() + 1e-9
+
+    @given(st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=20, deadline=None)
+    def test_random_fractional_matrices(self, seed):
+        rng = np.random.default_rng(seed)
+        n, k = 6, 3
+        X = rng.uniform(0, 1, size=(n, k))
+        D = rng.uniform(0, 10, size=(n, k))
+        out = forestify_support(X, D)
+        assert np.allclose(out.sum(axis=1), X.sum(axis=1), atol=1e-8)
+        assert np.allclose(out.sum(axis=0), X.sum(axis=0), atol=1e-8)
+        assert (out >= -1e-12).all()
+        # Acyclic support: edges <= touched nodes - components  =>  <= n+k-1.
+        assert (out > 1e-9).sum() <= n + k - 1
+        assert (out * D).sum() <= (X * D).sum() + 1e-6

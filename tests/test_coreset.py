@@ -1,0 +1,183 @@
+"""Tests for Algorithm 2 (offline coreset construction) and Theorem 3.19."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import CoresetParams, build_coreset, build_coreset_auto
+from repro.core.coreset import CoresetBuildError
+from repro.data.synthetic import gaussian_mixture, unbalanced_mixture
+from repro.grid.grids import HierarchicalGrids
+from repro.metrics.costs import capacitated_cost, uncapacitated_cost
+from repro.metrics.evaluation import evaluate_coreset_quality
+from repro.solvers.kmeanspp import kmeans_plusplus
+from repro.utils.validation import FailedConstruction
+
+
+@pytest.fixture(scope="module")
+def mixture():
+    pts, means, labels = gaussian_mixture(
+        3000, 2, 256, k=3, spread=0.03, seed=21, return_truth=True
+    )
+    pts = np.unique(pts, axis=0)
+    params = CoresetParams.practical(k=3, d=2, delta=256, eps=0.25, eta=0.25)
+    return pts, params, means.astype(float)
+
+
+@pytest.fixture(scope="module")
+def coreset(mixture):
+    pts, params, _ = mixture
+    return build_coreset_auto(pts, params, seed=5)
+
+
+class TestConstruction:
+    def test_coreset_is_subset_of_input(self, mixture, coreset):
+        pts, _, _ = mixture
+        input_set = set(map(tuple, pts.tolist()))
+        assert all(tuple(p) in input_set for p in coreset.points.tolist())
+
+    def test_total_weight_close_to_n(self, mixture, coreset):
+        pts, _, _ = mixture
+        # Weights are inverse sampling probabilities; dropped small parts may
+        # remove a little mass (Lemma 3.4 bounds it by η·n/k-ish).
+        assert coreset.total_weight <= len(pts) * 1.05
+        assert coreset.total_weight >= len(pts) * 0.85
+
+    def test_weights_are_inverse_phi(self, coreset):
+        for pid, info in enumerate(coreset.parts):
+            sel = coreset.part_ids == pid
+            if sel.any():
+                assert np.allclose(coreset.weights[sel], 1.0 / info.phi)
+
+    def test_part_provenance_levels_valid(self, mixture, coreset):
+        _, params, _ = mixture
+        for info in coreset.parts:
+            assert 0 <= info.level <= params.L
+            assert info.phi > 0
+            assert info.size_estimate >= 0
+
+    def test_deterministic_given_seed(self, mixture):
+        pts, params, _ = mixture
+        a = build_coreset_auto(pts, params, seed=9)
+        b = build_coreset_auto(pts, params, seed=9)
+        assert a.o == b.o
+        assert np.array_equal(a.points, b.points)
+        assert np.allclose(a.weights, b.weights)
+
+    def test_storage_bits_positive(self, coreset):
+        assert coreset.storage_bits() > 0
+
+    def test_fail_for_tiny_o_on_uniform(self):
+        from repro.data.synthetic import uniform_points
+
+        pts = np.unique(uniform_points(5000, 2, 256, seed=2), axis=0)
+        params = CoresetParams.practical(k=3, d=2, delta=256)
+        grids = HierarchicalGrids(256, 2, seed=1)
+        with pytest.raises(FailedConstruction):
+            build_coreset(pts, params, o=1.0, grids=grids, seed=0)
+
+    def test_fail_for_huge_o(self, mixture):
+        pts, params, _ = mixture
+        grids = HierarchicalGrids(256, 2, seed=1)
+        with pytest.raises(FailedConstruction):
+            build_coreset(pts, params, o=1e18, grids=grids, seed=0)
+
+    def test_empty_input(self):
+        params = CoresetParams.practical(k=2, d=2, delta=64)
+        cs = build_coreset_auto(np.empty((0, 2), dtype=np.int64), params)
+        assert len(cs) == 0
+
+    def test_sampled_counts_mode_runs(self, mixture):
+        pts, params, _ = mixture
+        cs = build_coreset_auto(pts, params, seed=4, use_sampled_counts=True)
+        assert len(cs) > 0
+        assert cs.total_weight == pytest.approx(len(pts), rel=0.25)
+
+
+class TestStrongCoresetProperty:
+    """Empirical check of the Section 1.1 sandwich on small instances."""
+
+    @pytest.mark.parametrize("r", [1.0, 2.0])
+    def test_sandwich_for_planted_and_random_centers(self, r):
+        pts, means, _ = gaussian_mixture(
+            2500, 2, 256, k=3, spread=0.03, seed=31, return_truth=True
+        )
+        pts = np.unique(pts, axis=0)
+        n = len(pts)
+        eps, eta = 0.25, 0.25
+        params = CoresetParams.practical(k=3, d=2, delta=256, eps=eps, eta=eta, r=r)
+        cs = build_coreset_auto(pts, params, seed=13)
+        rng = np.random.default_rng(7)
+        Zs = [
+            means.astype(float),
+            kmeans_plusplus(pts.astype(float), 3, r=r, seed=1),
+            rng.integers(1, 257, size=(3, 2)).astype(float),
+        ]
+        caps = [n / 3, 1.5 * n / 3, math.inf]
+        rep = evaluate_coreset_quality(pts, cs, Zs, caps, r=r, eps=eps, eta=eta)
+        assert rep.entries, "no feasible evaluation entries"
+        assert rep.worst_ratio <= 1 + eps, (
+            f"sandwich violated: worst ratio {rep.worst_ratio:.4f}"
+        )
+
+    def test_unbalanced_mixture_capacity_binding(self):
+        """The regime the paper motivates: capacity forces splitting the
+        big cluster; the coreset must still track the capacitated cost."""
+        pts, means, _ = unbalanced_mixture(
+            2500, 2, 256, k=3, imbalance=6.0, spread=0.02, seed=41, return_truth=True
+        )
+        pts = np.unique(pts, axis=0)
+        n = len(pts)
+        params = CoresetParams.practical(k=3, d=2, delta=256, eps=0.25, eta=0.25)
+        cs = build_coreset_auto(pts, params, seed=17)
+        Z = means.astype(float)
+        t = n / 3  # tight capacity: unconstrained optimum infeasible
+        full = capacitated_cost(pts, Z, t, r=2.0)
+        core = capacitated_cost(cs.points, Z, (1 + 0.25) * t, r=2.0, weights=cs.weights)
+        unconstrained = uncapacitated_cost(pts, Z, r=2.0)
+        # Capacity must actually bind for this to be a meaningful test.
+        assert full > 1.5 * unconstrained
+        assert core <= (1 + 0.25) * full
+        relaxed = capacitated_cost(pts, Z, (1 + 0.25) ** 2 * t, r=2.0)
+        assert core >= relaxed / (1 + 0.25)
+
+
+class TestGuessDriver:
+    def test_auto_matches_manual_guess(self, mixture):
+        pts, params, _ = mixture
+        grids = HierarchicalGrids(256, 2, seed=HierarchicalGrids(256, 2).L)
+        cs = build_coreset_auto(pts, params, seed=5)
+        manual = build_coreset(pts, params, cs.o, seed=5)
+        assert np.array_equal(np.sort(cs.points, axis=0), np.sort(manual.points, axis=0))
+
+    def test_smallest_nonfail_mode(self, mixture):
+        pts, params, _ = mixture
+        cs = build_coreset_auto(pts, params, seed=5, pilot_cost=None)
+        assert len(cs) > 0
+
+    def test_bad_pilot_string_rejected(self, mixture):
+        pts, params, _ = mixture
+        with pytest.raises(ValueError):
+            build_coreset_auto(pts, params, pilot_cost="bogus")
+
+
+class TestTheoryMode:
+    def test_theory_constants_keep_everything(self):
+        """With the paper's constants, every sampling rate is 1 at this
+        scale, so the coreset is the whole retained input with unit weights
+        — and the sandwich is trivially exact.  This is the documented
+        reason the practical regime exists (DESIGN.md)."""
+        pts = np.unique(gaussian_mixture(800, 2, 64, k=2, spread=0.05,
+                                         seed=51), axis=0)
+        params = CoresetParams.from_theory(k=2, d=2, delta=64,
+                                           eps=0.25, eta=0.25)
+        cs = build_coreset_auto(pts, params, seed=3)
+        assert len(cs) == len(pts)
+        assert np.allclose(cs.weights, 1.0)
+
+    def test_theory_phi_formula_saturates(self):
+        params = CoresetParams.from_theory(k=2, d=2, delta=64)
+        assert all(params.phi(i, 1e6) == 1.0 for i in range(params.L + 1))

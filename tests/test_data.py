@@ -1,0 +1,66 @@
+"""Tests for the synthetic data generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import (
+    clustered_with_outliers,
+    gaussian_mixture,
+    unbalanced_mixture,
+    uniform_points,
+)
+
+
+class TestGenerators:
+    def test_ranges_valid(self):
+        for gen in (
+            lambda: uniform_points(500, 3, 128, seed=1),
+            lambda: gaussian_mixture(500, 3, 128, k=4, seed=1),
+            lambda: unbalanced_mixture(500, 3, 128, k=4, seed=1),
+            lambda: clustered_with_outliers(500, 3, 128, k=4, seed=1),
+        ):
+            pts = gen()
+            assert pts.shape == (500, 3)
+            assert pts.dtype == np.int64
+            assert pts.min() >= 1 and pts.max() <= 128
+
+    def test_deterministic(self):
+        a = gaussian_mixture(100, 2, 64, k=2, seed=9)
+        b = gaussian_mixture(100, 2, 64, k=2, seed=9)
+        assert np.array_equal(a, b)
+        c = gaussian_mixture(100, 2, 64, k=2, seed=10)
+        assert not np.array_equal(a, c)
+
+    def test_return_truth_consistent(self):
+        pts, means, labels = gaussian_mixture(400, 2, 256, k=3, spread=0.01,
+                                              seed=2, return_truth=True)
+        assert means.shape == (3, 2)
+        assert labels.shape == (400,)
+        # Points sit near their component's mean.
+        d = np.linalg.norm(pts - means[labels], axis=1)
+        assert np.median(d) < 5 * 0.01 * 256
+
+    def test_unbalanced_imbalance_realized(self):
+        _, _, labels = unbalanced_mixture(4000, 2, 256, k=4, imbalance=8.0,
+                                          seed=3, return_truth=True)
+        counts = np.bincount(labels, minlength=4)
+        assert counts[0] > 4 * counts[1:].max()
+
+    def test_outliers_present(self):
+        pts = clustered_with_outliers(2000, 2, 1024, k=3, outlier_fraction=0.05,
+                                      spread=0.005, seed=4)
+        # Clusters are tight; at least ~2% of points must be far from all
+        # dense regions (the uniform outliers).
+        from repro.solvers.kmeanspp import kmeans_plusplus
+        from repro.metrics.distances import nearest_center
+
+        Z = kmeans_plusplus(pts.astype(float), 3, seed=5)
+        _, dr = nearest_center(pts, Z, 2.0)
+        far = (np.sqrt(dr) > 0.05 * 1024).mean()
+        assert far > 0.01
+
+    def test_delta_validation(self):
+        with pytest.raises(ValueError):
+            uniform_points(10, 2, 100, seed=0)

@@ -1,0 +1,125 @@
+"""Tests for the distributed coordinator protocol (Lemma 4.6, Theorem 4.7)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import CoresetParams, build_coreset_auto
+from repro.data.synthetic import gaussian_mixture
+from repro.distributed import Network, distributed_coreset, distributed_storing
+from repro.metrics.evaluation import evaluate_coreset_quality
+from repro.solvers.kmeanspp import kmeans_plusplus
+from repro.utils.validation import FailedConstruction
+
+
+@pytest.fixture(scope="module")
+def data():
+    pts = np.unique(gaussian_mixture(2000, 2, 256, k=3, spread=0.03, seed=18), axis=0)
+    params = CoresetParams.practical(k=3, d=2, delta=256, eps=0.25, eta=0.25)
+    return pts, params
+
+
+class TestNetwork:
+    def test_partition_modes_cover_all_points(self, data):
+        pts, _ = data
+        for mode in ("random", "skewed"):
+            net = Network.partition(pts, 4, seed=1, mode=mode)
+            assert net.s == 4
+            total = np.concatenate([m.points for m in net.machines])
+            assert sorted(map(tuple, total.tolist())) == sorted(map(tuple, pts.tolist()))
+
+    def test_bit_metering(self, data):
+        pts, _ = data
+        net = Network.partition(pts, 2, seed=1)
+        net.send_up(0, "x", bits=100, label="t")
+        net.broadcast("y", bits=10, label="b")
+        assert net.uplink_bits == 100
+        assert net.downlink_bits == 20  # 10 bits x 2 machines
+        assert net.total_bits == 120
+        assert net.messages == 3
+
+    def test_unknown_mode_rejected(self, data):
+        pts, _ = data
+        with pytest.raises(ValueError):
+            Network.partition(pts, 2, mode="zigzag")
+
+
+class TestDistributedStoring:
+    def test_merges_cells_and_small_points(self, data):
+        _, params = data
+        net = Network.partition(np.zeros((4, 2), dtype=np.int64) + 1, 2, seed=0)
+        local = [
+            [(1, 100), (1, 101), (2, 200)],   # machine 0
+            [(1, 102), (3, 300)],             # machine 1
+        ]
+        res = distributed_storing(net, local, alpha=10, beta=2, params=params)
+        assert res.cells == {1: 3, 2: 1, 3: 1}
+        # Cell 1 has 3 > beta points: excluded from small_points.
+        assert set(res.small_points) == {2, 3}
+        assert res.small_points[2] == {200: 1}
+        assert net.uplink_bits > 0
+
+    def test_machine_over_alpha_fails(self, data):
+        _, params = data
+        net = Network.partition(np.zeros((2, 2), dtype=np.int64) + 1, 1, seed=0)
+        local = [[(c, c) for c in range(20)]]
+        with pytest.raises(FailedConstruction):
+            distributed_storing(net, local, alpha=4, beta=1, params=params)
+
+
+class TestDistributedCoreset:
+    @pytest.mark.parametrize("mode", ["random", "skewed"])
+    def test_matches_offline_quality(self, data, mode):
+        pts, params = data
+        net = Network.partition(pts, 4, seed=3, mode=mode)
+        cs = distributed_coreset(net, params, seed=9)
+        assert len(cs) > 0
+        assert cs.total_weight == pytest.approx(len(pts), rel=0.3)
+        n = len(pts)
+        Zs = [kmeans_plusplus(pts.astype(float), 3, seed=s) for s in (1, 2)]
+        rep = evaluate_coreset_quality(pts, cs, Zs, [n / 3, math.inf],
+                                       r=2.0, eps=0.25, eta=0.25)
+        assert rep.entries
+        assert rep.worst_ratio <= 1.25 * 1.1
+
+    def test_communication_additive_in_machines(self, data):
+        """With a fixed guess o (no retry noise) the communication decomposes
+        as  global-content + s·overhead:  doubling s must not double bits."""
+        pts, params = data
+        o = 50000.0
+        bits = {}
+        for s in (2, 8):
+            net = Network.partition(pts, s, seed=3)
+            distributed_coreset(net, params, seed=9, o=o)
+            bits[s] = net.total_bits
+        assert bits[8] > bits[2]          # per-machine overhead exists
+        assert bits[8] < 3 * bits[2]      # but is not multiplicative
+
+    def test_single_machine_equals_centralized_semantics(self, data):
+        pts, params = data
+        net = Network.partition(pts, 1, seed=3)
+        cs = distributed_coreset(net, params, seed=9)
+        surv = set(map(tuple, pts.tolist()))
+        assert all(tuple(p) in surv for p in cs.points.tolist())
+
+    def test_deterministic(self, data):
+        pts, params = data
+        a = distributed_coreset(Network.partition(pts, 3, seed=3), params, seed=9)
+        b = distributed_coreset(Network.partition(pts, 3, seed=3), params, seed=9)
+        assert a.o == b.o
+        assert np.array_equal(
+            np.sort(a.points, axis=0), np.sort(b.points, axis=0)
+        )
+
+    def test_partitioning_invariance(self, data):
+        """The merged sketches are linear, so the coreset must not depend on
+        HOW points are split across machines."""
+        pts, params = data
+        a = distributed_coreset(Network.partition(pts, 2, seed=1, mode="random"),
+                                params, seed=9, o=50000.0)
+        b = distributed_coreset(Network.partition(pts, 8, seed=2, mode="skewed"),
+                                params, seed=9, o=50000.0)
+        assert sorted(map(tuple, a.points.tolist())) == sorted(map(tuple, b.points.tolist()))

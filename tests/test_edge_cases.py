@@ -1,0 +1,114 @@
+"""Edge cases: degenerate dimensions, minimal grids, pathological inputs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import CoresetParams, build_coreset_auto
+from repro.grid.grids import HierarchicalGrids
+from repro.metrics.costs import capacitated_cost
+from repro.solvers import CapacitatedKClustering
+
+
+class TestOneDimensional:
+    def test_coreset_d1(self):
+        rng = np.random.default_rng(0)
+        pts = np.unique(
+            np.concatenate([rng.integers(1, 60, 400), rng.integers(200, 256, 400)])
+        )[:, None]
+        params = CoresetParams.practical(k=2, d=1, delta=256)
+        cs = build_coreset_auto(pts, params, seed=1)
+        assert len(cs) > 0
+        assert cs.points.shape[1] == 1
+        assert cs.total_weight == pytest.approx(len(pts), rel=0.3)
+
+    def test_capacitated_d1(self):
+        pts = np.arange(1, 21, dtype=float)[:, None]
+        Z = np.array([[5.0], [15.0]])
+        c = capacitated_cost(pts, Z, 10, r=2.0)
+        assert np.isfinite(c)
+
+
+class TestMinimalGrid:
+    def test_delta_two(self):
+        # Δ=2 => L=1, coordinates in {1, 2}.
+        pts = np.array([[1, 1], [1, 2], [2, 1], [2, 2]], dtype=np.int64)
+        params = CoresetParams.practical(k=2, d=2, delta=2)
+        cs = build_coreset_auto(pts, params, seed=2)
+        assert 0 < len(cs) <= 4
+
+    def test_grids_delta_two(self):
+        g = HierarchicalGrids(2, 2, seed=0)
+        assert g.L == 1
+        keys = g.cell_keys(np.array([[1, 1], [2, 2]]), 1)
+        for k in keys:
+            ck = g.decode_cell_key(int(k))
+            assert ck.level == 1
+
+
+class TestDegenerateInputs:
+    def test_single_point(self):
+        pts = np.array([[7, 7]], dtype=np.int64)
+        params = CoresetParams.practical(k=1, d=2, delta=16)
+        cs = build_coreset_auto(pts, params, seed=3)
+        assert len(cs) == 1
+        assert cs.weights[0] == pytest.approx(1.0)
+
+    def test_all_points_identical_rejected_by_model(self):
+        """The stream model treats Q as a set; the offline builder accepts a
+        multiset array but the coreset weight still covers the multiplicity."""
+        pts = np.tile(np.array([[5, 5]], dtype=np.int64), (10, 1))
+        params = CoresetParams.practical(k=1, d=2, delta=16)
+        cs = build_coreset_auto(pts, params, seed=4)
+        assert cs.total_weight == pytest.approx(10.0, rel=0.5)
+
+    def test_two_far_points_k2(self):
+        pts = np.array([[1, 1], [256, 256]], dtype=np.int64)
+        params = CoresetParams.practical(k=2, d=2, delta=256)
+        cs = build_coreset_auto(pts, params, seed=5)
+        assert len(cs) == 2  # nothing to compress
+
+    def test_k_equals_n(self):
+        rng = np.random.default_rng(6)
+        pts = np.unique(rng.integers(1, 64, size=(6, 2)), axis=0).astype(float)
+        solver = CapacitatedKClustering(k=len(pts), capacity=1, restarts=1, seed=1)
+        sol = solver.fit(pts)
+        assert sol.cost == pytest.approx(0.0, abs=1e-9)
+
+    def test_capacity_exactly_n_over_k(self):
+        rng = np.random.default_rng(7)
+        pts = np.unique(rng.integers(1, 256, size=(30, 2)), axis=0).astype(float)
+        n = len(pts)
+        k = 3
+        t = int(np.ceil(n / k))
+        Z = pts[:k]
+        c = capacitated_cost(pts, Z, t, r=2.0)
+        assert np.isfinite(c)
+
+
+class TestCollinearAndTies:
+    def test_collinear_points_halfspaces(self):
+        from repro.core.halfspace import (
+            halfspaces_from_assignment,
+            canonicalize_assignment,
+        )
+
+        pts = np.array([[i, 0] for i in range(1, 11)], dtype=float)
+        ctr = np.array([[1.0, 0.0], [10.0, 0.0]])
+        lab = np.array([0] * 5 + [1] * 5)
+        H = halfspaces_from_assignment(pts, lab, ctr, r=2.0)
+        assert np.array_equal(H.regions(pts), lab)
+
+    def test_equidistant_tie_broken_lexicographically(self):
+        from repro.core.halfspace import canonicalize_assignment
+
+        # Two points equidistant from both centers: the canonical form must
+        # be deterministic (alphabetical order decides).
+        pts = np.array([[5.0, 1.0], [5.0, 2.0]])
+        ctr = np.array([[0.0, 0.0], [10.0, 0.0]])
+        for init in ([0, 1], [1, 0]):
+            out = canonicalize_assignment(pts, np.array(init), ctr, 2.0)
+            # Sizes preserved; the smaller lexicographic point goes to z0.
+            assert sorted(out.tolist()) == [0, 1]
+            assert out[0] == 0

@@ -1,0 +1,182 @@
+"""Tests for the curved half-space machinery (the paper's core device)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.assignment.capacitated import assignment_cost, capacitated_assignment, cluster_sizes
+from repro.core.halfspace import (
+    AssignmentHalfspaces,
+    canonicalize_assignment,
+    halfspaces_from_assignment,
+    is_halfspace_consistent,
+    lexicographic_rank,
+    region_weights,
+    transferred_assignment,
+)
+
+
+class TestLexicographicRank:
+    def test_matches_paper_order(self):
+        pts = np.array([[1, 5], [1, 2], [2, 0]])
+        rank = lexicographic_rank(pts)
+        # (1,2) < (1,5) < (2,0) alphabetically.
+        assert rank.tolist() == [1, 0, 2]
+
+    def test_permutation(self):
+        rng = np.random.default_rng(0)
+        pts = rng.integers(0, 10, size=(50, 3))
+        rank = lexicographic_rank(pts)
+        assert sorted(rank.tolist()) == list(range(50))
+
+
+class TestCanonicalize:
+    @pytest.mark.parametrize("r", [1.0, 2.0])
+    def test_preserves_sizes_never_increases_cost(self, r):
+        rng = np.random.default_rng(3)
+        pts = rng.integers(0, 100, size=(40, 2)).astype(float)
+        ctr = rng.integers(0, 100, size=(3, 2)).astype(float)
+        lab = rng.integers(0, 3, size=40)
+        out = canonicalize_assignment(pts, lab, ctr, r)
+        assert np.array_equal(
+            np.bincount(out, minlength=3), np.bincount(lab, minlength=3)
+        )
+        assert assignment_cost(pts, ctr, out, r) <= assignment_cost(pts, ctr, lab, r) + 1e-9
+
+    @pytest.mark.parametrize("r", [1.0, 2.0])
+    @pytest.mark.parametrize("seed", range(5))
+    def test_result_is_halfspace_consistent(self, r, seed):
+        rng = np.random.default_rng(seed)
+        pts = rng.integers(0, 60, size=(25, 2)).astype(float)
+        ctr = rng.integers(0, 60, size=(3, 2)).astype(float)
+        lab = rng.integers(0, 3, size=25)
+        out = canonicalize_assignment(pts, lab, ctr, r)
+        assert is_halfspace_consistent(pts, out, ctr, r)
+
+    def test_optimal_capacitated_assignment_already_consistent_after_switch(self):
+        """Lemma 3.8: an optimal capacitated assignment canonicalizes with
+        NO cost change (only tie/shuffle switches)."""
+        rng = np.random.default_rng(7)
+        pts = rng.integers(0, 100, size=(20, 2)).astype(float)
+        ctr = rng.integers(0, 100, size=(3, 2)).astype(float)
+        res = capacitated_assignment(pts, ctr, 7, r=2.0)
+        out = canonicalize_assignment(pts, res.labels, ctr, 2.0)
+        assert assignment_cost(pts, ctr, out, 2.0) == pytest.approx(res.cost, rel=1e-9)
+
+    def test_single_center_noop(self):
+        pts = np.arange(10, dtype=float).reshape(5, 2)
+        lab = np.zeros(5, dtype=np.int64)
+        out = canonicalize_assignment(pts, lab, np.array([[0.0, 0.0]]), 2.0)
+        assert np.array_equal(out, lab)
+
+
+class TestHalfspacesFromAssignment:
+    @pytest.mark.parametrize("r", [1.0, 2.0])
+    @pytest.mark.parametrize("seed", range(4))
+    def test_regions_reproduce_labels(self, r, seed):
+        """Definition 3.7: the half-spaces induce exactly the canonical
+        assignment on the points they were built from."""
+        rng = np.random.default_rng(seed)
+        pts = np.unique(rng.integers(0, 80, size=(30, 2)), axis=0).astype(float)
+        ctr = rng.integers(0, 80, size=(3, 2)).astype(float)
+        res = capacitated_assignment(pts, ctr, int(np.ceil(len(pts) / 3 * 1.2)), r=r)
+        H = halfspaces_from_assignment(pts, res.labels, ctr, r=r)
+        lab = canonicalize_assignment(pts, res.labels, ctr, r)
+        regions = H.regions(pts)
+        # Every point is in the region of its assigned center.
+        assert np.array_equal(regions, lab)
+
+    def test_applies_to_new_points(self):
+        # Half-spaces derived from a sample classify nearby new points too.
+        rng = np.random.default_rng(2)
+        a = rng.normal((10, 10), 1.0, size=(30, 2))
+        b = rng.normal((40, 40), 1.0, size=(30, 2))
+        pts = np.vstack([a, b])
+        ctr = np.array([[10.0, 10.0], [40.0, 40.0]])
+        lab = np.array([0] * 30 + [1] * 30)
+        H = halfspaces_from_assignment(pts, lab, ctr, r=2.0)
+        fresh = np.vstack([
+            rng.normal((10, 10), 1.0, size=(10, 2)),
+            rng.normal((40, 40), 1.0, size=(10, 2)),
+        ])
+        regions = H.regions(fresh)
+        assert (regions[:10] == 0).all()
+        assert (regions[10:] == 1).all()
+
+    def test_empty_cluster_infinite_threshold(self):
+        pts = np.array([[1.0, 1.0], [2.0, 2.0]])
+        ctr = np.array([[0.0, 0.0], [100.0, 100.0]])
+        lab = np.array([0, 0])
+        H = halfspaces_from_assignment(pts, lab, ctr, r=2.0)
+        assert np.array_equal(H.regions(pts), lab)
+
+    def test_region_count_k_equals_one(self):
+        H = halfspaces_from_assignment(
+            np.array([[1.0, 2.0]]), np.array([0]), np.array([[0.0, 0.0]]), 2.0
+        )
+        assert H.regions(np.array([[5.0, 5.0]])).tolist() == [0]
+
+
+class TestTransferredAssignment:
+    def test_small_regions_rerouted_to_largest(self):
+        regions = np.array([0, 0, 0, 1, 2, -1])
+        B = np.array([1.0, 100.0, 0.5, 0.5])  # b0=1 (R0), b1=100, b2=b3=0.5
+        out = transferred_assignment(regions, B, xi=0.1, T=10.0)
+        # 2ξT = 2: regions 1 and 2 (paper: R2,R3) are below, R0 too → all to i*=0.
+        assert (out == 0).all()
+
+    def test_large_regions_kept(self):
+        regions = np.array([0, 1, 1, 2])
+        B = np.array([0.0, 50.0, 40.0, 30.0])
+        out = transferred_assignment(regions, B, xi=0.1, T=10.0)
+        assert out.tolist() == [0, 1, 1, 2]
+
+    def test_region_weights_includes_r0(self):
+        regions = np.array([-1, 0, 1, 1])
+        w = np.array([2.0, 3.0, 1.0, 1.0])
+        B = region_weights(regions, k=2, weights=w)
+        assert B.tolist() == [2.0, 3.0, 2.0]
+
+    def test_lemma_312_cost_and_size_bounds(self):
+        """Lemma 3.12: transfer changes cost by ≤ (1+2^{r+4}k²ξ)·cost +
+        ξ·2^{r+1}kT(√d g)^r and sizes by ≤ 16kξ·W."""
+        rng = np.random.default_rng(11)
+        # A tight cluster of points (all within one cell of diameter √d·g).
+        pts = rng.uniform(0, 4, size=(60, 2)) + np.array([50, 50])
+        ctr = np.array([[50.0, 50.0], [60.0, 50.0], [50.0, 65.0]])
+        res = capacitated_assignment(pts, ctr, 25, r=2.0)
+        lab = canonicalize_assignment(pts, res.labels, ctr, 2.0)
+        H = halfspaces_from_assignment(pts, lab, ctr, 2.0, canonicalize=False)
+        regions = H.regions(pts)
+        k, xi, T = 3, 0.01, 50.0
+        B = region_weights(regions, k)
+        out = transferred_assignment(regions, B, xi, T)
+        g = 4 * np.sqrt(2)  # diameter bound of the square
+        r = 2.0
+        cost_pi = assignment_cost(pts, ctr, lab, r)
+        cost_out = assignment_cost(pts, ctr, out, r)
+        bound = (1 + 2 ** (r + 4) * k**2 * xi) * cost_pi + xi * 2 ** (r + 1) * k * T * g**r
+        assert cost_out <= bound + 1e-6
+        s_diff = np.abs(
+            cluster_sizes(out, k) - cluster_sizes(lab, k)
+        ).sum()
+        assert s_diff <= 16 * k * xi * len(pts) + 1e-9
+
+
+class TestSideMatrix:
+    @given(st.integers(min_value=0, max_value=500))
+    @settings(max_examples=20, deadline=None)
+    def test_sides_are_complementary(self, seed):
+        rng = np.random.default_rng(seed)
+        pts = rng.integers(0, 40, size=(15, 2)).astype(float)
+        ctr = rng.integers(0, 40, size=(3, 2)).astype(float)
+        lab = rng.integers(0, 3, size=15)
+        H = halfspaces_from_assignment(pts, lab, ctr, 2.0)
+        S = H.side_matrix(pts)
+        for i in range(3):
+            for j in range(3):
+                if i != j:
+                    assert np.array_equal(S[:, i, j], ~S[:, j, i])

@@ -1,0 +1,114 @@
+"""Tests for coreset serialization and the CLI."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.core import CoresetParams, build_coreset_auto
+from repro.core.io import load_coreset, params_from_dict, params_to_dict, save_coreset
+from repro.data.synthetic import gaussian_mixture
+
+
+@pytest.fixture(scope="module")
+def built(tmp_path_factory):
+    pts = np.unique(gaussian_mixture(1500, 2, 256, k=3, seed=33), axis=0)
+    params = CoresetParams.practical(k=3, d=2, delta=256)
+    cs = build_coreset_auto(pts, params, seed=5)
+    return pts, params, cs
+
+
+class TestIO:
+    def test_roundtrip(self, built, tmp_path):
+        pts, params, cs = built
+        path = tmp_path / "c.npz"
+        save_coreset(path, cs, params)
+        loaded, lparams = load_coreset(path)
+        assert np.array_equal(loaded.points, cs.points)
+        assert np.allclose(loaded.weights, cs.weights)
+        assert np.array_equal(loaded.part_ids, cs.part_ids)
+        assert loaded.o == cs.o
+        assert loaded.parts == cs.parts
+        assert lparams == params
+
+    def test_roundtrip_without_params(self, built, tmp_path):
+        _, _, cs = built
+        path = tmp_path / "c2.npz"
+        save_coreset(path, cs)
+        loaded, lparams = load_coreset(path)
+        assert lparams is None
+        assert len(loaded) == len(cs)
+
+    def test_params_dict_roundtrip(self, built):
+        _, params, _ = built
+        assert params_from_dict(params_to_dict(params)) == params
+
+    def test_loaded_coreset_usable_for_transfer(self, built, tmp_path):
+        """A reloaded coreset must still drive Section 3.3 extension."""
+        from repro.assignment.transfer import extend_assignment_to_points
+        from repro.grid.grids import HierarchicalGrids
+        from repro.solvers.kmeanspp import kmeans_plusplus
+        from repro.utils.rng import derive_seed
+
+        pts, params, cs = built
+        path = tmp_path / "c3.npz"
+        save_coreset(path, cs, params)
+        loaded, lparams = load_coreset(path)
+        grids = HierarchicalGrids(256, 2, seed=derive_seed(5, "grids"))
+        Z = kmeans_plusplus(pts.astype(float), 3, seed=1)
+        labels = extend_assignment_to_points(pts, loaded, lparams, grids, Z,
+                                             len(pts) / 3 * 1.3)
+        assert labels.shape == (len(pts),)
+
+
+class TestCLI:
+    def test_generate_build_info_pipeline(self, tmp_path, capsys):
+        pts_path = tmp_path / "pts.npy"
+        cs_path = tmp_path / "cs.npz"
+        assert main(["generate", str(pts_path), "--n", "1500", "--d", "2",
+                     "--delta", "256", "--k", "3", "--seed", "1"]) == 0
+        assert main(["build", str(pts_path), str(cs_path), "--k", "3",
+                     "--delta", "256", "--seed", "2"]) == 0
+        assert main(["info", str(cs_path)]) == 0
+        out = capsys.readouterr().out
+        assert "coreset" in out
+        assert "accepted guess o" in out
+
+    def test_solve_command(self, tmp_path, capsys):
+        pts_path = tmp_path / "pts.npy"
+        cs_path = tmp_path / "cs.npz"
+        main(["generate", str(pts_path), "--n", "1200", "--d", "2",
+              "--delta", "256", "--k", "2", "--seed", "3"])
+        main(["build", str(pts_path), str(cs_path), "--k", "2",
+              "--delta", "256"])
+        assert main(["solve", str(cs_path)]) == 0
+        assert "max load / capacity" in capsys.readouterr().out
+
+    def test_evaluate_command_passes(self, tmp_path, capsys):
+        pts_path = tmp_path / "pts.npy"
+        cs_path = tmp_path / "cs.npz"
+        main(["generate", str(pts_path), "--n", "1500", "--d", "2",
+              "--delta", "256", "--k", "3", "--seed", "4"])
+        main(["build", str(pts_path), str(cs_path), "--k", "3",
+              "--delta", "256"])
+        rc = main(["evaluate", str(pts_path), str(cs_path), "--centers", "2"])
+        out = capsys.readouterr().out
+        assert "worst ratio" in out
+        assert rc == 0
+
+    def test_stream_command(self, tmp_path, capsys):
+        pts_path = tmp_path / "pts.npy"
+        cs_path = tmp_path / "cs.npz"
+        main(["generate", str(pts_path), "--n", "1200", "--d", "2",
+              "--delta", "256", "--k", "3", "--seed", "5"])
+        assert main(["stream", str(pts_path), str(cs_path), "--k", "3",
+                     "--delta", "256", "--delete-fraction", "0.3"]) == 0
+        out = capsys.readouterr().out
+        assert "deletions" in out
+
+    def test_solve_without_params_exits_2(self, built, tmp_path):
+        _, _, cs = built
+        path = tmp_path / "noparams.npz"
+        save_coreset(path, cs)
+        assert main(["solve", str(path)]) == 2

@@ -1,0 +1,112 @@
+"""Tests for CoresetParams — the theory formulas and practical calibration."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.params import CoresetParams
+
+
+class TestTheoryFormulas:
+    def test_exact_paper_values(self):
+        p = CoresetParams.from_theory(k=2, d=3, delta=1024, r=2.0, eps=0.2, eta=0.2)
+        L = 10
+        dd = 3 ** 3.0
+        scale = 2.0 ** (-24)
+        assert p.L == L
+        assert p.gamma == pytest.approx(scale * min(0.2 / (2 * L), 0.2 / ((2 + dd) * L)))
+        assert p.xi == pytest.approx(scale * 0.2 / (2 * (2 + dd) * L**2))
+        assert p.lam == int(1e6 * 2 * 8 * 3 * L * math.ceil(math.log(2 * 3 * L)))
+        assert p.lam_est == 100 * 3 * L
+        assert p.threshold_c == 0.01
+        assert p.mode == "theory"
+
+    def test_threshold_formula(self):
+        p = CoresetParams.from_theory(k=2, d=2, delta=64, r=2.0)
+        o = 1000.0
+        # T_i = 0.01 o / (√d g_i)^r with g_3 = 64/8 = 8.
+        assert p.threshold(3, o) == pytest.approx(0.01 * o / (2 * 64.0))
+
+    def test_threshold_monotone_in_level(self):
+        p = CoresetParams.practical(k=3, d=2, delta=256)
+        o = 5e4
+        ts = [p.threshold(i, o) for i in range(0, p.L)]
+        assert all(a < b for a, b in zip(ts, ts[1:]))
+
+    def test_phi_formula_theory(self):
+        p = CoresetParams.from_theory(k=2, d=2, delta=64, r=2.0)
+        o = 10.0
+        expected = min(1.0, (2.0**24) * p.lam / (p.xi**3 * p.gamma * p.threshold(5, o)))
+        assert p.phi(5, o) == pytest.approx(expected)
+
+    def test_theory_phi_is_one_at_laptop_scale(self):
+        # Documents WHY the practical regime exists.
+        p = CoresetParams.from_theory(k=4, d=3, delta=1024)
+        assert p.phi(8, 1e7) == 1.0
+
+
+class TestPracticalRegime:
+    def test_functional_forms_preserved(self):
+        a = CoresetParams.practical(k=2, d=2, delta=256)
+        b = CoresetParams.practical(k=8, d=2, delta=256)
+        # γ decreases (or stays floored) as k grows; ξ strictly decreases.
+        assert b.gamma <= a.gamma
+        assert b.xi < a.xi
+
+    def test_phi_decreases_with_level(self):
+        p = CoresetParams.practical(k=3, d=2, delta=256)
+        o = 1e5
+        phis = [p.phi(i, o) for i in range(0, p.L)]
+        assert all(x >= y for x, y in zip(phis, phis[1:]))
+
+    def test_phi_times_cutoff_is_samples_per_part(self):
+        p = CoresetParams.practical(k=3, d=2, delta=256, samples_per_part=32)
+        o = 1e7
+        level = p.L - 1
+        if p.phi(level, o) < 1.0:
+            assert p.phi(level, o) * p.small_part_cutoff(level, o) == pytest.approx(32.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CoresetParams.practical(k=0, d=2, delta=256)
+        with pytest.raises(ValueError):
+            CoresetParams.practical(k=2, d=2, delta=100)  # not a power of 2
+        with pytest.raises(ValueError):
+            CoresetParams.practical(k=2, d=2, delta=256, eps=0.7)
+
+    def test_with_overrides(self):
+        p = CoresetParams.practical(k=2, d=2, delta=256)
+        q = p.with_overrides(gamma=0.5)
+        assert q.gamma == 0.5 and p.gamma != 0.5
+        assert q.k == p.k
+
+    def test_guesses_cover_range(self):
+        p = CoresetParams.practical(k=2, d=2, delta=256)
+        gs = list(p.guesses(1000))
+        assert gs[0] == 1.0
+        assert gs[-1] >= p.guess_upper_bound(1000)
+        # Geometric schedule.
+        assert all(b == 2 * a for a, b in zip(gs, gs[1:]))
+
+
+class TestSketchCapacities:
+    def test_storing_alpha_positive_integer(self):
+        p = CoresetParams.practical(k=3, d=2, delta=256)
+        a = p.storing_alpha(4, 1e5, p.psi(4, 1e5))
+        assert isinstance(a, int) and a >= 8
+
+    def test_storing_beta_covers_expected_samples(self):
+        # β̂ must exceed the expected samples of a threshold-sized cell.
+        p = CoresetParams.practical(k=3, d=2, delta=256)
+        o = 1e6
+        for level in range(0, p.L):
+            assert p.storing_beta(level, o) >= p.phi(level, o) * p.threshold(level, o)
+
+    def test_theory_mode_uses_paper_forms(self):
+        p = CoresetParams.from_theory(k=2, d=2, delta=64)
+        o = 100.0
+        val = p.storing_alpha(2, o, 1.0)
+        expected = 1e6 * (2 + 2**3.0 * 1.0 * p.threshold(2, o)) * p.L**2
+        assert val == max(8, int(math.ceil(expected)))

@@ -1,0 +1,158 @@
+"""Tests for Algorithm 1 (heavy-cell partitioning)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.estimators import ExactCounts, SampledCounts
+from repro.core.params import CoresetParams
+from repro.core.partition import ROOT_CELL_KEY, partition_heavy_cells
+from repro.data.synthetic import gaussian_mixture
+from repro.grid.grids import HierarchicalGrids
+from repro.utils.validation import FailedConstruction
+
+
+@pytest.fixture
+def setup():
+    pts = np.unique(gaussian_mixture(2000, 2, 256, k=3, seed=5), axis=0)
+    params = CoresetParams.practical(k=3, d=2, delta=256)
+    grids = HierarchicalGrids(256, 2, seed=3)
+    return pts, params, grids
+
+
+def reasonable_o(pts, params):
+    """An o in the OPT ballpark for the fixture (spread 0.02·Δ ≈ 5)."""
+    return len(pts) * params.d * (0.02 * params.delta) ** 2
+
+
+class TestPartitionStructure:
+    def test_every_point_in_exactly_one_part(self, setup):
+        pts, params, grids = setup
+        o = reasonable_o(pts, params)
+        part = partition_heavy_cells(pts, params, o, grids)
+        assert (part.part_of_point >= 0).all()
+        covered = np.zeros(len(pts), dtype=int)
+        for p in part.parts:
+            covered[p.point_idx] += 1
+        assert (covered == 1).all()
+
+    def test_part_membership_consistent(self, setup):
+        pts, params, grids = setup
+        o = reasonable_o(pts, params)
+        part = partition_heavy_cells(pts, params, o, grids)
+        for pid, p in enumerate(part.parts):
+            assert (part.part_of_point[p.point_idx] == pid).all()
+
+    def test_part_diameter_bounded(self, setup):
+        """Points of one part lie in one heavy cell of G_{i-1}:
+        diameter ≤ √d·g_{i-1} = 2√d·g_i."""
+        pts, params, grids = setup
+        o = reasonable_o(pts, params)
+        part = partition_heavy_cells(pts, params, o, grids)
+        for p in part.parts:
+            if p.size < 2:
+                continue
+            sub = pts[p.point_idx].astype(float)
+            diam = np.linalg.norm(sub[:, None] - sub[None, :], axis=2).max()
+            assert diam <= grids.cell_diameter(p.level - 1) + 1e-9
+
+    def test_parts_grouped_by_heavy_parent(self, setup):
+        pts, params, grids = setup
+        o = reasonable_o(pts, params)
+        part = partition_heavy_cells(pts, params, o, grids)
+        for p in part.parts:
+            if p.level == 0:
+                assert p.parent_cell_key == ROOT_CELL_KEY
+            else:
+                assert p.parent_cell_key in set(
+                    int(k) for k in part.heavy_keys[p.level - 1]
+                )
+
+    def test_heavy_counts_match_keys(self, setup):
+        pts, params, grids = setup
+        o = reasonable_o(pts, params)
+        part = partition_heavy_cells(pts, params, o, grids)
+        for level in range(0, params.L + 1):
+            assert part.heavy_counts[level] == len(part.heavy_keys[level - 1])
+
+    def test_heavy_cells_meet_threshold(self, setup):
+        pts, params, grids = setup
+        o = reasonable_o(pts, params)
+        part = partition_heavy_cells(pts, params, o, grids)
+        for level, keys in part.heavy_keys.items():
+            if level < 0:
+                continue
+            key_set = set(int(k) for k in keys)
+            if not key_set:
+                continue
+            cells = grids.cell_keys(pts, level)
+            for k in key_set:
+                count = int(sum(1 for c in cells if int(c) == k))
+                assert count >= params.threshold(level, o)
+
+
+class TestGuessBehaviour:
+    def test_huge_o_root_not_heavy(self, setup):
+        pts, params, grids = setup
+        huge = 1e18
+        part = partition_heavy_cells(pts, params, huge, grids)
+        assert part.heavy_keys[-1] == []
+        assert (part.part_of_point == -1).all()
+
+    def test_tiny_o_early_abort(self):
+        # Uniform data occupies many cells; with o = 1 every occupied cell is
+        # heavy and the running count must blow through the FAIL bound.
+        from repro.data.synthetic import uniform_points
+
+        pts = np.unique(uniform_points(4000, 2, 256, seed=1), axis=0)
+        params = CoresetParams.practical(k=3, d=2, delta=256)
+        grids = HierarchicalGrids(256, 2, seed=3)
+        with pytest.raises(FailedConstruction):
+            partition_heavy_cells(pts, params, 1.0, grids,
+                                  max_heavy=params.max_heavy_cells())
+
+    def test_empty_input(self, setup):
+        _, params, grids = setup
+        part = partition_heavy_cells(np.empty((0, 2), dtype=np.int64),
+                                     params, 100.0, grids)
+        assert len(part.parts) == 0
+
+
+class TestSampledCounts:
+    def test_sampled_partition_close_to_exact(self, setup):
+        pts, params, grids = setup
+        o = reasonable_o(pts, params)
+        exact = partition_heavy_cells(pts, params, o, grids)
+        sampled = partition_heavy_cells(
+            pts, params, o, grids,
+            counts=SampledCounts(pts, params, o, grids, seed=3),
+        )
+        # Same level structure up to borderline cells: compare total mass of
+        # parts per level within a tolerance.
+        def level_mass(p):
+            out = {}
+            for part in p.parts:
+                out[part.level] = out.get(part.level, 0) + part.size
+            return out
+
+        em, sm = level_mass(exact), level_mass(sampled)
+        total = len(pts)
+        diff = sum(abs(em.get(lv, 0) - sm.get(lv, 0))
+                   for lv in set(em) | set(sm))
+        assert diff <= 0.35 * total
+
+    def test_exact_counts_interface(self):
+        c = ExactCounts(10)
+        assert c.rate_cells(3) == 1.0
+        assert c.mask_cells(0).all()
+        assert c.randomness_bits == 0
+
+    def test_sampled_estimates_unbiasedish(self, setup):
+        pts, params, grids = setup
+        o = reasonable_o(pts, params)
+        sc = SampledCounts(pts, params, o, grids, seed=1)
+        level = 4
+        rate = sc.rate_cells(level)
+        est = sc.mask_cells(level).sum() / rate
+        assert est == pytest.approx(len(pts), rel=0.2)

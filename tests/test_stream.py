@@ -1,0 +1,91 @@
+"""Tests for the dynamic stream model and workload generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import gaussian_mixture
+from repro.data.workloads import (
+    churn_stream,
+    dedupe,
+    deletion_heavy_stream,
+    insertion_stream,
+)
+from repro.streaming.stream import DELETE, INSERT, Stream, StreamEvent, materialize
+
+
+class TestStreamModel:
+    def test_event_sign_validation(self):
+        with pytest.raises(ValueError):
+            StreamEvent((1, 2), 0)
+
+    def test_materialize_insert_only(self):
+        s = Stream.from_points(np.array([[1, 2], [3, 4]]))
+        out = materialize(s)
+        assert sorted(map(tuple, out.tolist())) == [(1, 2), (3, 4)]
+
+    def test_materialize_rejects_double_insert(self):
+        s = Stream([StreamEvent((1, 1), INSERT), StreamEvent((1, 1), INSERT)])
+        with pytest.raises(ValueError):
+            materialize(s)
+
+    def test_materialize_rejects_phantom_delete(self):
+        s = Stream([StreamEvent((1, 1), DELETE)])
+        with pytest.raises(ValueError):
+            materialize(s)
+
+    def test_insert_then_delete_empty(self):
+        s = Stream([StreamEvent((1, 1), INSERT), StreamEvent((1, 1), DELETE)])
+        assert materialize(s, d=2).shape == (0, 2)
+
+    def test_stream_concat_and_counts(self):
+        a = Stream.from_points(np.array([[1, 1]]))
+        b = Stream([StreamEvent((1, 1), DELETE)])
+        s = a + b
+        assert len(s) == 2
+        assert s.num_insertions() == 1
+        assert s.num_deletions() == 1
+
+
+class TestWorkloads:
+    @pytest.fixture
+    def pts(self):
+        return dedupe(gaussian_mixture(800, 2, 128, k=3, seed=1))
+
+    def test_insertion_stream_valid(self, pts):
+        s = insertion_stream(pts, seed=2)
+        out = materialize(s)
+        assert len(out) == len(pts)
+
+    def test_churn_stream_valid_and_deletes(self, pts):
+        s = churn_stream(pts, delete_fraction=0.5, seed=3)
+        out = materialize(s)  # raises on any model violation
+        assert 0 < len(out) < len(pts)
+        assert s.num_deletions() == len(pts) - len(out)
+
+    def test_churn_interleaves_deletions(self, pts):
+        s = churn_stream(pts, delete_fraction=0.5, seed=3)
+        first_delete = next(i for i, e in enumerate(s) if e.sign == DELETE)
+        last_insert = max(i for i, e in enumerate(s) if e.sign == INSERT)
+        assert first_delete < last_insert  # not all deletions at the end
+
+    def test_deletion_heavy_removes_whole_cluster(self):
+        pts, _, labels = gaussian_mixture(600, 2, 128, k=3, seed=5,
+                                          return_truth=True)
+        s = deletion_heavy_stream(pts, labels, delete_clusters=[0], seed=1)
+        out = materialize(s)
+        uniq, first = np.unique(pts, axis=0, return_index=True)
+        survivors_expected = uniq[labels[first] != 0]
+        assert sorted(map(tuple, out.tolist())) == sorted(
+            map(tuple, survivors_expected.tolist())
+        )
+
+    def test_deletion_heavy_label_mismatch(self, pts):
+        with pytest.raises(ValueError):
+            deletion_heavy_stream(pts, np.zeros(3), [0])
+
+    def test_workloads_deterministic(self, pts):
+        a = churn_stream(pts, 0.4, seed=9)
+        b = churn_stream(pts, 0.4, seed=9)
+        assert [e.point for e in a] == [e.point for e in b]

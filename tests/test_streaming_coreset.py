@@ -1,0 +1,188 @@
+"""Integration tests for Algorithm 4 / Theorem 4.5 (streaming coreset)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import CoresetParams, build_coreset
+from repro.data.synthetic import gaussian_mixture
+from repro.data.workloads import churn_stream, deletion_heavy_stream, insertion_stream
+from repro.metrics.evaluation import evaluate_coreset_quality
+from repro.solvers.kmeanspp import kmeans_plusplus
+from repro.solvers.pilot import estimate_opt_cost
+from repro.streaming import StreamingCoreset, materialize
+from repro.utils.validation import FailedConstruction
+
+
+@pytest.fixture(scope="module")
+def setup():
+    pts = np.unique(gaussian_mixture(2000, 2, 256, k=3, spread=0.03, seed=8), axis=0)
+    params = CoresetParams.practical(k=3, d=2, delta=256, eps=0.25, eta=0.25)
+    pilot = estimate_opt_cost(pts, 3, r=2.0, seed=4)
+    return pts, params, pilot
+
+
+class TestStreamingMatchesOffline:
+    def test_insertion_stream_equals_offline_sampled_mode(self, setup):
+        """Same hash randomness ⇒ streaming over an insert-only stream gives
+        exactly the offline Algorithm 2 in sampled-counts mode."""
+        pts, params, pilot = setup
+        sc = StreamingCoreset(params, seed=21, backend="exact",
+                              o_range=(pilot / 64, pilot / 4))
+        sc.process(insertion_stream(pts, seed=5))
+        cs = sc.finalize()
+        assert len(cs) > 0
+        # The streaming coreset must be a subset of the input with sane weights.
+        input_set = set(map(tuple, pts.tolist()))
+        assert all(tuple(p) in input_set for p in cs.points.tolist())
+        assert cs.total_weight == pytest.approx(len(pts), rel=0.3)
+
+    def test_order_invariance(self, setup):
+        """Linear sketches: any insertion order yields the same coreset."""
+        pts, params, pilot = setup
+        results = []
+        for order_seed in (1, 2):
+            sc = StreamingCoreset(params, seed=33, backend="exact",
+                                  o_range=(pilot / 64, pilot / 4))
+            sc.process(insertion_stream(pts, seed=order_seed))
+            cs = sc.finalize()
+            results.append(sorted(map(tuple, cs.points.tolist())))
+        assert results[0] == results[1]
+
+    def test_deletions_equal_never_inserted(self, setup):
+        """Insert A∪B then delete B  ≡  insert only A (linearity)."""
+        pts, params, _ = setup
+        keep = pts[: len(pts) // 2]
+        churn = churn_stream(pts, delete_fraction=0.0, seed=1)  # base order
+        # Build: insert all, delete the second half.
+        from repro.streaming.stream import DELETE, INSERT, Stream, StreamEvent
+
+        events = [StreamEvent(tuple(map(int, p)), INSERT) for p in pts]
+        events += [StreamEvent(tuple(map(int, p)), DELETE) for p in pts[len(pts) // 2:]]
+        pilot = estimate_opt_cost(keep, 3, r=2.0, seed=4)
+        a = StreamingCoreset(params, seed=44, backend="exact",
+                             o_range=(pilot / 64, pilot / 4))
+        a.process(Stream(events))
+        b = StreamingCoreset(params, seed=44, backend="exact",
+                             o_range=(pilot / 64, pilot / 4))
+        b.process(Stream([StreamEvent(tuple(map(int, p)), INSERT) for p in keep]))
+        ca, cb = a.finalize(), b.finalize()
+        assert sorted(map(tuple, ca.points.tolist())) == sorted(map(tuple, cb.points.tolist()))
+        assert ca.o == cb.o
+
+
+class TestStreamingQuality:
+    def test_coreset_property_after_churn(self, setup):
+        pts, params, _ = setup
+        stream = churn_stream(pts, delete_fraction=0.5, seed=6)
+        survivors = materialize(stream, d=2)
+        pilot = estimate_opt_cost(survivors, 3, r=2.0, seed=4)
+        sc = StreamingCoreset(params, seed=13, backend="exact",
+                              o_range=(pilot / 64, pilot / 4))
+        sc.process(stream)
+        cs = sc.finalize()
+        n = len(survivors)
+        Zs = [kmeans_plusplus(survivors.astype(float), 3, seed=s) for s in (1, 2)]
+        rep = evaluate_coreset_quality(
+            survivors, cs, Zs, [n / 3, math.inf], r=2.0, eps=0.25, eta=0.25
+        )
+        assert rep.entries
+        # Allow modest slack: streaming mode estimates all counts by sampling.
+        assert rep.worst_ratio <= 1.25 * 1.1
+
+    def test_whole_cluster_deletion(self):
+        """E4's hard case: delete an entire cluster; the coreset must track
+        the survivors' structure, not the full history's."""
+        pts, means, labels = gaussian_mixture(1500, 2, 256, k=3, spread=0.02,
+                                              seed=9, return_truth=True)
+        params = CoresetParams.practical(k=2, d=2, delta=256, eps=0.25, eta=0.25)
+        stream = deletion_heavy_stream(pts, labels, delete_clusters=[0], seed=2)
+        survivors = materialize(stream, d=2)
+        pilot = estimate_opt_cost(survivors, 2, r=2.0, seed=4)
+        sc = StreamingCoreset(params, seed=31, backend="exact",
+                              o_range=(pilot / 64, pilot / 4))
+        sc.process(stream)
+        cs = sc.finalize()
+        surv_set = set(map(tuple, survivors.tolist()))
+        assert all(tuple(p) in surv_set for p in cs.points.tolist())
+        assert cs.total_weight == pytest.approx(len(survivors), rel=0.3)
+
+
+class TestSnapshots:
+    def test_midstream_snapshot_matches_prefix(self, setup):
+        """finalize() is non-destructive: querying mid-stream equals running
+        a fresh instance on the prefix, and streaming continues correctly."""
+        pts, params, _ = setup
+        sub = pts[:800]
+        prefix, rest = sub[:500], sub[500:]
+        pilot = estimate_opt_cost(sub, 3, r=2.0, seed=4)
+        orange = (pilot / 64, pilot / 4)
+
+        sc = StreamingCoreset(params, seed=77, backend="exact", o_range=orange)
+        from repro.streaming.stream import Stream
+
+        sc.process(insertion_stream(prefix, seed=1))
+        snap = sc.snapshot()
+
+        fresh = StreamingCoreset(params, seed=77, backend="exact", o_range=orange)
+        fresh.process(insertion_stream(prefix, seed=1))
+        ref = fresh.finalize()
+        assert sorted(map(tuple, snap.points.tolist())) == sorted(
+            map(tuple, ref.points.tolist())
+        )
+
+        # Continue streaming after the snapshot; the final result equals a
+        # single uninterrupted run.
+        sc.process(insertion_stream(rest, seed=2))
+        full = sc.finalize()
+        uninterrupted = StreamingCoreset(params, seed=77, backend="exact",
+                                         o_range=orange)
+        uninterrupted.process(insertion_stream(prefix, seed=1))
+        uninterrupted.process(insertion_stream(rest, seed=2))
+        want = uninterrupted.finalize()
+        assert sorted(map(tuple, full.points.tolist())) == sorted(
+            map(tuple, want.points.tolist())
+        )
+
+
+class TestSketchBackend:
+    def test_sketch_matches_exact(self, setup):
+        pts, params, pilot = setup
+        sub = pts[:400]
+        sub_pilot = estimate_opt_cost(sub, 3, r=2.0, seed=4)
+        exact = StreamingCoreset(params, seed=55, backend="exact",
+                                 o_range=(sub_pilot / 16, sub_pilot / 4))
+        exact.process(insertion_stream(sub, seed=3))
+        cs_e, inst = exact.finalize_with_instance()
+        sketch = StreamingCoreset(params, seed=55, backend="sketch",
+                                  o_range=(cs_e.o, cs_e.o))
+        sketch.process(insertion_stream(sub, seed=3))
+        cs_s = sketch.finalize()
+        assert sorted(map(tuple, cs_e.points.tolist())) == sorted(
+            map(tuple, cs_s.points.tolist())
+        )
+
+    def test_space_accounting_positive(self, setup):
+        pts, params, pilot = setup
+        sc = StreamingCoreset(params, seed=5, backend="sketch",
+                              o_range=(pilot / 8, pilot / 8))
+        sc.update(tuple(map(int, pts[0])), +1)
+        assert sc.space_bits() > 0
+
+
+class TestFailurePaths:
+    def test_all_guesses_fail_raises(self, setup):
+        pts, params, _ = setup
+        sc = StreamingCoreset(params, seed=5, backend="exact",
+                              o_range=(1e17, 1e18))  # absurd: root never heavy
+        sc.process(insertion_stream(pts[:100], seed=1))
+        with pytest.raises(FailedConstruction):
+            sc.finalize()
+
+    def test_prefer_validation(self, setup):
+        _, params, _ = setup
+        with pytest.raises(ValueError):
+            StreamingCoreset(params, prefer="median")

@@ -1,0 +1,27 @@
+"""Tests for the table rendering utility."""
+
+from __future__ import annotations
+
+from repro.utils.tables import format_table, render_table
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        out = format_table(["a", "bbbb"], [[1, 2], [333, 4]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        # All lines equal width.
+        assert len({len(l) for l in lines}) == 1
+
+    def test_float_formatting(self):
+        out = format_table(["x"], [[0.123456], [1e9], [0.0]])
+        assert "0.123" in out
+        assert "1e+09" in out
+
+    def test_empty_rows(self):
+        out = format_table(["a", "b"], [])
+        assert "a" in out and "b" in out
+
+    def test_render_has_title(self):
+        out = render_table("My Title", ["c"], [[1]])
+        assert out.startswith("=== My Title ===")

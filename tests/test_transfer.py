@@ -1,0 +1,102 @@
+"""Tests for Section 3.3: assignment construction via the coreset."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.assignment.capacitated import assignment_cost, capacitated_assignment, cluster_sizes
+from repro.assignment.transfer import coreset_assignment, extend_assignment_to_points
+from repro.core import CoresetParams, build_coreset_auto
+from repro.data.synthetic import gaussian_mixture, unbalanced_mixture
+from repro.grid.grids import HierarchicalGrids
+from repro.solvers.kmeanspp import kmeans_plusplus
+from repro.utils.rng import derive_seed
+
+
+@pytest.fixture(scope="module")
+def built():
+    pts = np.unique(gaussian_mixture(2500, 2, 256, k=3, spread=0.03, seed=23), axis=0)
+    params = CoresetParams.practical(k=3, d=2, delta=256, eps=0.25, eta=0.25)
+    seed = 3
+    grids = HierarchicalGrids(256, 2, seed=derive_seed(seed, "grids"))
+    cs = build_coreset_auto(pts, params, grids=grids, seed=seed)
+    centers = kmeans_plusplus(pts.astype(float), 3, seed=7)
+    return pts, params, grids, cs, centers
+
+
+class TestCoresetAssignment:
+    def test_respects_relaxed_capacity(self, built):
+        pts, params, grids, cs, centers = built
+        t = cs.total_weight / 3 * 1.1
+        res = coreset_assignment(cs, centers, t, r=2.0)
+        assert res.feasible
+        assert res.max_violation() <= 1.0 + params.eta + 0.05
+
+    def test_infeasible_capacity(self, built):
+        _, _, _, cs, centers = built
+        res = coreset_assignment(cs, centers, cs.total_weight / 10, r=2.0)
+        assert not res.feasible
+
+
+class TestExtension:
+    def test_every_point_assigned(self, built):
+        pts, params, grids, cs, centers = built
+        t = len(pts) / 3 * 1.2
+        labels = extend_assignment_to_points(pts, cs, params, grids, centers, t)
+        assert labels.shape == (len(pts),)
+        assert labels.min() >= 0 and labels.max() < 3
+
+    def test_cost_and_violation_guarantee(self, built):
+        """§3.3: the extended assignment costs (1+O(ε))× the optimal
+        capacitated cost and violates capacity by (1+O(η))."""
+        pts, params, grids, cs, centers = built
+        n = len(pts)
+        t = n / 3 * 1.15
+        labels = extend_assignment_to_points(pts, cs, params, grids, centers, t)
+        ext_cost = assignment_cost(pts, centers, labels, 2.0)
+        opt = capacitated_assignment(pts, centers, t, r=2.0, integral=False)
+        # Generous constants: O(ε)/O(η) hide moderate factors.
+        assert ext_cost <= (1 + 4 * params.eps) * opt.fractional_cost
+        sizes = cluster_sizes(labels, 3)
+        assert sizes.max() <= (1 + 4 * params.eta) * t
+
+    def test_capacity_binding_case(self):
+        """Unbalanced mixture with tight capacity: the extension must split
+        the big cluster rather than assign everything to its center."""
+        pts, means, _ = unbalanced_mixture(2000, 2, 256, k=3, imbalance=8.0,
+                                           spread=0.02, seed=31, return_truth=True)
+        pts = np.unique(pts, axis=0)
+        params = CoresetParams.practical(k=3, d=2, delta=256, eps=0.25, eta=0.25)
+        seed = 11
+        grids = HierarchicalGrids(256, 2, seed=derive_seed(seed, "grids"))
+        cs = build_coreset_auto(pts, params, grids=grids, seed=seed)
+        n = len(pts)
+        t = n / 3 * 1.1
+        Z = means.astype(float)
+        labels = extend_assignment_to_points(pts, cs, params, grids, Z, t)
+        sizes = cluster_sizes(labels, 3)
+        # The dominant cluster holds ~8/10 of points; capacity is ~0.37n.
+        assert sizes.max() <= (1 + 4 * params.eta) * t
+        # And cost should be comparable to the true capacitated optimum.
+        opt = capacitated_assignment(pts, Z, t, r=2.0, integral=False)
+        assert assignment_cost(pts, Z, labels, 2.0) <= (1 + 6 * params.eps) * opt.fractional_cost
+
+    def test_empty_coreset_falls_back_to_nearest(self, built):
+        pts, params, grids, _, centers = built
+        from repro.core.weighted import Coreset
+
+        empty = Coreset(points=np.empty((0, 2), dtype=np.int64), weights=np.empty(0),
+                        o=1.0, delta=256, input_size=0)
+        labels = extend_assignment_to_points(pts[:50], empty, params, grids,
+                                             centers, 1e9)
+        from repro.metrics.distances import nearest_center
+
+        ref, _ = nearest_center(pts[:50], centers, 2.0)
+        assert np.array_equal(labels, ref)
+
+    def test_infeasible_capacity_raises(self, built):
+        pts, params, grids, cs, centers = built
+        with pytest.raises(ValueError):
+            extend_assignment_to_points(pts, cs, params, grids, centers,
+                                        cs.total_weight / 100)

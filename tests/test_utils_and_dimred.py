@@ -1,0 +1,139 @@
+"""Tests for utils (bits, rng, validation) and the JL dimension reduction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dimred import jl_then_discretize, jl_transform
+from repro.dimred.jl import jl_dimension
+from repro.utils.bits import cells_bits, counter_bits, float_bits, int_bits, point_bits
+from repro.utils.rng import as_rng, derive_seed, spawn_rng
+from repro.utils.validation import (
+    FailedConstruction,
+    check_delta,
+    check_epsilon_eta,
+    check_points,
+    check_weights,
+)
+
+
+class TestBits:
+    def test_int_bits(self):
+        assert int_bits(0) == 1
+        assert int_bits(1) == 1
+        assert int_bits(255) == 8
+        assert int_bits(256) == 9
+
+    def test_point_bits_is_footnote_one(self):
+        # d·log2(Δ): "the space required to represent one point".
+        assert point_bits(4, 1024) == 40
+
+    def test_counter_bits_signed(self):
+        assert counter_bits(7) == 4
+
+    def test_cells_bits_scales(self):
+        assert cells_bits(10, 2, 256, 10) == 10 * cells_bits(1, 2, 256, 10)
+
+    def test_float_bits(self):
+        assert float_bits(3) == 192
+
+
+class TestRng:
+    def test_derive_seed_stable(self):
+        assert derive_seed(42, "x") == derive_seed(42, "x")
+        assert derive_seed(42, "x") != derive_seed(42, "y")
+        assert derive_seed(42, "x") != derive_seed(43, "x")
+
+    def test_spawn_rng_reproducible(self):
+        a = spawn_rng(7, "lbl").random(5)
+        b = spawn_rng(7, "lbl").random(5)
+        assert np.array_equal(a, b)
+
+    def test_as_rng_passthrough(self):
+        g = np.random.default_rng(1)
+        assert as_rng(g) is g
+        assert isinstance(as_rng(5), np.random.Generator)
+        assert isinstance(as_rng(None), np.random.Generator)
+
+
+class TestValidation:
+    def test_check_delta(self):
+        assert check_delta(256) == 256
+        for bad in (0, 3, 100):
+            with pytest.raises(ValueError):
+                check_delta(bad)
+
+    def test_check_points_range(self):
+        with pytest.raises(ValueError):
+            check_points(np.array([[0, 1]]), 16)
+        with pytest.raises(ValueError):
+            check_points(np.array([[1.5, 2.0]]), 16)
+        out = check_points(np.array([[1, 16]]), 16)
+        assert out.dtype == np.int64
+
+    def test_check_eps_eta(self):
+        with pytest.raises(ValueError):
+            check_epsilon_eta(0.6, 0.1)
+        with pytest.raises(ValueError):
+            check_epsilon_eta(0.1, 0.0)
+
+    def test_check_weights(self):
+        with pytest.raises(ValueError):
+            check_weights(np.array([1.0, -1.0]), 2)
+        with pytest.raises(ValueError):
+            check_weights(np.array([1.0]), 2)
+
+    def test_failed_construction_reason(self):
+        exc = FailedConstruction("too many cells")
+        assert exc.reason == "too many cells"
+
+
+class TestJL:
+    def test_dimension_formula(self):
+        assert jl_dimension(4, 0.5) >= 2
+        assert jl_dimension(4, 0.1) > jl_dimension(4, 0.5)
+
+    def test_projection_shape(self):
+        rng = np.random.default_rng(0)
+        pts = rng.normal(size=(100, 50))
+        out = jl_transform(pts, 8, seed=1)
+        assert out.shape == (100, 8)
+
+    def test_distance_preservation(self):
+        rng = np.random.default_rng(1)
+        pts = rng.normal(size=(60, 300))
+        out = jl_transform(pts, 64, seed=2)
+        d_in = np.linalg.norm(pts[:30] - pts[30:], axis=1)
+        d_out = np.linalg.norm(out[:30] - out[30:], axis=1)
+        ratio = d_out / d_in
+        assert 0.6 < ratio.min() and ratio.max() < 1.4
+
+    def test_jl_then_discretize_valid_grid(self):
+        rng = np.random.default_rng(2)
+        pts = rng.normal(size=(200, 40))
+        grid, t = jl_then_discretize(pts, 6, 1024, seed=3)
+        assert grid.shape == (200, 6)
+        assert grid.min() >= 1 and grid.max() <= 1024
+
+    def test_clustering_cost_preserved_through_jl(self):
+        """[MMR19] behaviour: k-means cost of a fixed partition survives the
+        projection to within a moderate factor."""
+        from repro.data.synthetic import gaussian_mixture
+        from repro.metrics.costs import uncapacitated_cost
+        from repro.solvers.lloyd import lloyd
+
+        pts, _, labels = gaussian_mixture(800, 16, 1024, k=4, spread=0.02,
+                                          seed=4, return_truth=True)
+        proj = jl_transform(pts.astype(float), 8, seed=5)
+        res_hi = lloyd(pts.astype(float), 4, seed=6)
+        res_lo = lloyd(proj, 4, seed=6)
+        # Relative cluster structure is preserved: low-dim solution labels,
+        # lifted back to high dim, give near-optimal high-dim cost.
+        lift_centers = np.stack([
+            pts[res_lo.labels == c].mean(axis=0) if (res_lo.labels == c).any()
+            else pts[0]
+            for c in range(4)
+        ])
+        lifted_cost = uncapacitated_cost(pts.astype(float), lift_centers)
+        assert lifted_cost <= 2.0 * res_hi.cost + 1e-9
