@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench examples lint clean
+.PHONY: install test test-verbose bench examples artifacts lint clean
 
 install:
 	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -18,6 +18,11 @@ bench:
 
 examples:
 	for f in examples/*.py; do echo "== $$f"; $(PYTHON) $$f || exit 1; done
+
+lint:
+	@$(PYTHON) -m ruff --version >/dev/null 2>&1 || \
+		{ echo "ruff is not installed; run: pip install ruff"; exit 1; }
+	$(PYTHON) -m ruff check src tests benchmarks examples
 
 artifacts:
 	$(PYTHON) -m pytest tests/ 2>&1 | tee test_output.txt

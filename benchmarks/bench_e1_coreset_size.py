@@ -14,7 +14,6 @@ import time
 import pytest
 
 from common import build_standard_coreset, make_mixture, print_table, standard_params
-from repro.core import CoresetParams
 
 
 def _row(tag, pts, params, seed=7):

@@ -12,7 +12,6 @@ from __future__ import annotations
 
 import time
 
-import numpy as np
 import pytest
 
 from common import (
@@ -22,7 +21,7 @@ from common import (
     print_table,
     standard_params,
 )
-from repro.assignment.capacitated import assignment_cost, capacitated_assignment, cluster_sizes
+from repro.assignment.capacitated import assignment_cost, cluster_sizes
 from repro.assignment.transfer import extend_assignment_to_points
 from repro.grid.grids import HierarchicalGrids
 from repro.solvers import CapacitatedKClustering
@@ -96,8 +95,6 @@ def test_e5_kmeans(benchmark):
 def test_e5_black_box_solvers(benchmark):
     """Fact 2.3 is black-box in the solver: two independent (α, β)
     approximations on the same coreset must land in the same quality band."""
-    import numpy as np
-
     from repro.core import build_coreset_auto
     from repro.metrics.costs import capacitated_cost
     from repro.solvers.lp_rounding import lp_rounding_capacitated

@@ -16,7 +16,6 @@ from __future__ import annotations
 
 import math
 
-import numpy as np
 import pytest
 
 from common import make_mixture, print_table, standard_params

@@ -1,0 +1,94 @@
+"""Service benchmark — sharded ingest throughput and query-cache latency.
+
+The numbers every later scaling PR moves: (a) ingest events/sec through the
+sharded layer vs shard count, (b) cold (merge + decode + solve) vs cached
+query latency, and (c) checkpoint write/restore time — measured from this
+PR onward so the trajectory is visible.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from common import make_mixture, print_table
+from repro.data.workloads import churn_stream
+from repro.service import ClusteringService, ServiceConfig, ShardedIngest
+from repro.solvers.pilot import estimate_opt_cost
+from repro.streaming import materialize
+from repro.core import CoresetParams
+
+
+def _workload(n: int = 4000, delta: int = 1024, seed: int = 3):
+    pts, _ = make_mixture(n, 2, delta, 3, seed=seed)
+    stream = churn_stream(pts, delete_fraction=0.3, seed=seed)
+    survivors = materialize(stream, d=2)
+    pilot = estimate_opt_cost(survivors, 3, r=2.0, seed=seed)
+    return stream, survivors, pilot
+
+
+@pytest.mark.benchmark(group="service")
+def test_service_ingest_throughput_vs_shards(benchmark):
+    """Events/sec through apply_batch as the shard count grows.
+
+    Shards are independent sketches, so per-event work is flat in N — the
+    table checks sharding costs nothing before it buys parallelism."""
+    params = CoresetParams.practical(k=3, d=2, delta=1024)
+    stream, survivors, pilot = _workload()
+    orange = (pilot / 16, pilot / 4)
+    rows = []
+    for shards in (1, 2, 4, 8):
+        ing = ShardedIngest(params, num_shards=shards, seed=9,
+                            backend="exact", o_range=orange)
+        t0 = time.time()
+        ing.apply_batch(stream)
+        dt = time.time() - t0
+        rows.append([shards, len(stream), round(dt, 2),
+                     int(len(stream) / max(dt, 1e-9)),
+                     ing.space_bits() // 8000])
+    print_table(
+        "service: sharded ingest throughput (k=3, d=2, Δ=1024; 30% churn)",
+        ["shards", "events", "sec", "events/sec", "state KB"],
+        rows,
+    )
+    # Per-event cost must not degrade materially with shard count.
+    assert rows[-1][3] >= rows[0][3] / 3
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+@pytest.mark.benchmark(group="service")
+def test_service_query_cache_latency(benchmark):
+    """Cold query (merge + assemble + solve) vs memoized repeat query."""
+    stream, survivors, pilot = _workload(n=3000)
+    config = ServiceConfig(k=3, d=2, delta=1024, num_shards=4, seed=9,
+                           o_range=(pilot / 16, pilot / 4))
+    svc = ClusteringService(config)
+    svc.apply_events(stream)
+
+    t0 = time.time()
+    cold, hit_cold = svc.query()
+    cold_s = time.time() - t0
+    t0 = time.time()
+    warm, hit_warm = svc.query()
+    warm_s = time.time() - t0
+    assert not hit_cold and hit_warm
+
+    t0 = time.time()
+    info = svc.checkpoint("/tmp/bench_service.ckpt.json")
+    ckpt_s = time.time() - t0
+    t0 = time.time()
+    ClusteringService.restore("/tmp/bench_service.ckpt.json")
+    restore_s = time.time() - t0
+
+    print_table(
+        "service: query & checkpoint latency (4 shards)",
+        ["events", "|Q'|", "cold query s", "cached query s", "speedup",
+         "checkpoint s", "restore s"],
+        [[info["events"], cold.coreset_size, round(cold_s, 3),
+          round(warm_s, 6), int(cold_s / max(warm_s, 1e-9)),
+          round(ckpt_s, 3), round(restore_s, 3)]],
+    )
+    # The memoized path must be orders of magnitude below a fresh solve.
+    assert warm_s < cold_s / 10
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

@@ -13,7 +13,6 @@ import numpy as np
 from repro.core import CoresetParams, build_coreset_auto
 from repro.data.synthetic import gaussian_mixture, unbalanced_mixture
 from repro.solvers.kmeanspp import kmeans_plusplus
-from repro.solvers.pilot import estimate_opt_cost
 
 __all__ = [
     "print_table",

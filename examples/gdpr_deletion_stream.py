@@ -21,7 +21,6 @@ Run:  python examples/gdpr_deletion_stream.py
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro import CoresetParams
 from repro.data.synthetic import gaussian_mixture

@@ -1,0 +1,6 @@
+"""Make ``python -m repro`` equivalent to the ``repro`` console script."""
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

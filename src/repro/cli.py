@@ -10,6 +10,8 @@ Subcommands
 ``solve``      balanced k-clustering on a saved coreset (optionally extend
                the assignment to the original points)
 ``info``       print a saved coreset's provenance
+``serve``      run the long-lived sharded clustering service (JSON-lines TCP)
+``client``     talk to a running service (insert/delete/query/checkpoint/...)
 
 Every command is seeded and prints exactly what it did; these are the same
 code paths the library exposes, so the CLI doubles as an end-to-end smoke
@@ -85,6 +87,34 @@ def build_parser() -> argparse.ArgumentParser:
 
     i = sub.add_parser("info", help="print a saved coreset's provenance")
     i.add_argument("coreset")
+
+    srv = sub.add_parser("serve", help="run the sharded streaming service")
+    srv.add_argument("--host", default="127.0.0.1")
+    srv.add_argument("--port", type=int, default=7071)
+    srv.add_argument("--k", type=int, default=4)
+    srv.add_argument("--d", type=int, default=2)
+    srv.add_argument("--delta", type=int, default=256)
+    srv.add_argument("--r", type=float, default=2.0)
+    srv.add_argument("--eps", type=float, default=0.25)
+    srv.add_argument("--eta", type=float, default=0.25)
+    srv.add_argument("--shards", type=int, default=4)
+    srv.add_argument("--backend", choices=["exact", "sketch"], default="exact")
+    srv.add_argument("--capacity-slack", type=float, default=1.2)
+    srv.add_argument("--seed", type=int, default=7)
+    srv.add_argument("--restore", default=None, metavar="CKPT",
+                     help="start from a checkpoint instead of empty state "
+                          "(its config overrides the flags above)")
+
+    c = sub.add_parser("client", help="send one request to a running service")
+    c.add_argument("op", choices=["ping", "insert", "delete", "query",
+                                  "checkpoint", "restore", "stats", "shutdown"])
+    c.add_argument("--host", default="127.0.0.1")
+    c.add_argument("--port", type=int, default=7071)
+    c.add_argument("--points", default=None,
+                   help=".npy of int rows for insert/delete")
+    c.add_argument("--path", default=None,
+                   help="server-side checkpoint path for checkpoint/restore")
+    c.add_argument("--capacity-slack", type=float, default=None)
     return p
 
 
@@ -219,6 +249,61 @@ def _cmd_info(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from repro.service import ServiceConfig
+    from repro.service.server import serve_forever
+
+    config = ServiceConfig(
+        k=args.k, d=args.d, delta=args.delta, r=args.r, eps=args.eps,
+        eta=args.eta, num_shards=args.shards, seed=args.seed,
+        backend=args.backend, capacity_slack=args.capacity_slack,
+    )
+    serve_forever(config, args.host, args.port, restore_path=args.restore)
+    return 0
+
+
+def _cmd_client(args) -> int:
+    import json
+
+    from repro.service import ServiceClient
+
+    with ServiceClient(args.host, args.port) as cli:
+        if args.op in ("insert", "delete"):
+            if not args.points:
+                print(f"{args.op} needs --points FILE.npy", file=sys.stderr)
+                return 2
+            pts = np.load(args.points)
+            applied = (cli.insert(pts) if args.op == "insert"
+                       else cli.delete(pts))
+            print(f"{args.op}: {applied} events applied")
+            return 0
+        if args.op in ("checkpoint", "restore"):
+            if not args.path:
+                print(f"{args.op} needs --path CKPT", file=sys.stderr)
+                return 2
+            print(json.dumps(getattr(cli, args.op)(args.path), indent=2))
+            return 0
+        if args.op == "query":
+            result = cli.query(capacity_slack=args.capacity_slack)
+            rows = [[i, np.array2string(np.round(np.asarray(z), 1))]
+                    for i, z in enumerate(result["centers"])]
+            print(render_table("service clustering snapshot",
+                               ["center", "coordinates"], rows))
+            print(f"cost {result['cost']:.5g}, coreset {result['coreset_size']} "
+                  f"points, o={result['o']:.4g}, version {result['version']}, "
+                  f"cache_hit={result['cache_hit']}")
+            return 0
+        if args.op == "stats":
+            print(json.dumps(cli.stats(), indent=2))
+            return 0
+        if args.op == "ping":
+            print("pong" if cli.ping() else "no pong")
+            return 0
+        cli.shutdown()
+        print("server stopping")
+        return 0
+
+
 def main(argv=None) -> int:
     """Entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -229,6 +314,8 @@ def main(argv=None) -> int:
         "evaluate": _cmd_evaluate,
         "solve": _cmd_solve,
         "info": _cmd_info,
+        "serve": _cmd_serve,
+        "client": _cmd_client,
     }[args.command](args)
 
 

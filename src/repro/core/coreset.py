@@ -24,7 +24,7 @@ import numpy as np
 
 from repro.core.estimators import ExactCounts, SampledCounts
 from repro.core.params import CoresetParams
-from repro.core.partition import HeavyCellPartition, partition_heavy_cells
+from repro.core.partition import partition_heavy_cells
 from repro.core.weighted import Coreset, PartInfo
 from repro.grid.grids import HierarchicalGrids
 from repro.hashing.kwise import BernoulliHash

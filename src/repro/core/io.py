@@ -1,4 +1,4 @@
-"""Serialization of coresets and parameters.
+"""Serialization of coresets, parameters, and live streaming state.
 
 A coreset is a *summary* — the whole point is to persist/ship it instead of
 the data.  The format is a single ``.npz`` holding the point/weight/part
@@ -6,12 +6,21 @@ arrays plus a JSON-encoded header with the construction parameters, so a
 loaded coreset can (a) be solved against, (b) extend assignments via
 Section 3.3 (it retains part provenance and the accepted guess ``o``), and
 (c) be validated against the parameters it was built with.
+
+Beyond finished coresets, this module persists *live* sketch state for the
+long-running service: :func:`atomic_write_json` is the crash-safe primitive
+(write temp, fsync, rename — a checkpoint is either the complete old file
+or the complete new one, never a torn mix), and
+:func:`save_streaming_state` / :func:`load_streaming_state` round-trip a
+mid-stream :class:`~repro.streaming.streaming_coreset.StreamingCoreset`
+bit-identically via the codec in :mod:`repro.service.state`.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import json
+import os
 from pathlib import Path
 
 import numpy as np
@@ -19,7 +28,16 @@ import numpy as np
 from repro.core.params import CoresetParams
 from repro.core.weighted import Coreset, PartInfo
 
-__all__ = ["save_coreset", "load_coreset", "params_to_dict", "params_from_dict"]
+__all__ = [
+    "save_coreset",
+    "load_coreset",
+    "params_to_dict",
+    "params_from_dict",
+    "atomic_write_json",
+    "read_json",
+    "save_streaming_state",
+    "load_streaming_state",
+]
 
 _FORMAT_VERSION = 1
 
@@ -77,3 +95,51 @@ def load_coreset(path) -> tuple[Coreset, CoresetParams | None]:
         )
     params = params_from_dict(header["params"]) if header["params"] else None
     return coreset, params
+
+
+def atomic_write_json(path, obj) -> None:
+    """Write ``obj`` as JSON to ``path`` atomically (temp + fsync + rename).
+
+    ``os.replace`` is atomic on POSIX within one filesystem, so a concurrent
+    reader (or a crash mid-write) sees either the previous checkpoint or the
+    new one in full.  The temp file lives next to the target to stay on the
+    same filesystem.
+    """
+    path = Path(path)
+    tmp = path.with_name(path.name + f".tmp.{os.getpid()}")
+    try:
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(obj, fh, separators=(",", ":"))
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    finally:
+        if tmp.exists():
+            tmp.unlink()
+
+
+def read_json(path):
+    """Read a JSON file written by :func:`atomic_write_json`."""
+    with open(path, "r", encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def save_streaming_state(path, sc) -> None:
+    """Checkpoint a live :class:`StreamingCoreset` mid-stream (atomic).
+
+    Unlike :func:`save_coreset` this persists the *sketches themselves* —
+    hash-seed provenance, per-level Storing contents, pilot sampler, update
+    counter — so the restored driver can keep ingesting.
+    """
+    # Imported lazily: the codec lives with the service subsystem, and core
+    # must stay importable without it.
+    from repro.service.state import streaming_state_to_dict
+
+    atomic_write_json(path, streaming_state_to_dict(sc))
+
+
+def load_streaming_state(path):
+    """Inverse of :func:`save_streaming_state`; returns a live driver."""
+    from repro.service.state import streaming_state_from_dict
+
+    return streaming_state_from_dict(read_json(path))

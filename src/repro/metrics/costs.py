@@ -22,7 +22,7 @@ import math
 
 import numpy as np
 
-from repro.metrics.distances import nearest_center, pairwise_power_distances
+from repro.metrics.distances import nearest_center
 
 __all__ = [
     "uncapacitated_cost",

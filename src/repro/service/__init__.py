@@ -1,0 +1,39 @@
+"""Long-lived clustering service over dynamic streams.
+
+The paper's sketches are *linear*, which is exactly what a production
+service needs: state can be sharded across independent workers
+(:mod:`repro.service.shards`), persisted and restored bit-identically
+(:mod:`repro.service.state`), merged on demand and queried with result
+memoization (:mod:`repro.service.engine`), and exposed over a wire protocol
+(:mod:`repro.service.server` / :mod:`repro.service.client`).
+
+Layering: ``state`` (codec) → ``shards`` (ingest) → ``engine`` (queries)
+→ ``protocol``/``server``/``client`` (wire).  Everything below the wire
+layer is importable and testable without opening a socket.
+"""
+
+from repro.service.client import ServiceClient
+from repro.service.engine import ClusteringService, QueryResult, ServiceConfig
+from repro.service.server import ClusteringServer, serve_forever, start_server
+from repro.service.shards import ShardedIngest
+from repro.service.state import (
+    sharded_state_from_dict,
+    sharded_state_to_dict,
+    streaming_state_from_dict,
+    streaming_state_to_dict,
+)
+
+__all__ = [
+    "ClusteringServer",
+    "ClusteringService",
+    "QueryResult",
+    "ServiceClient",
+    "ServiceConfig",
+    "ShardedIngest",
+    "serve_forever",
+    "sharded_state_from_dict",
+    "sharded_state_to_dict",
+    "start_server",
+    "streaming_state_from_dict",
+    "streaming_state_to_dict",
+]

@@ -1,0 +1,122 @@
+"""Blocking JSON-lines client for the clustering service.
+
+A thin wrapper over one TCP connection: each method sends a request frame
+and waits for its response.  Raises :class:`ServiceError` when the server
+answers ``ok: false``, so callers handle failures as exceptions rather than
+inspecting dicts.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+
+import numpy as np
+
+from repro.service.protocol import encode_message
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+
+class ServiceError(RuntimeError):
+    """The server reported a failure for a request."""
+
+
+class ServiceClient:
+    """Client for one :class:`~repro.service.server.ClusteringServer`.
+
+    Usable as a context manager::
+
+        with ServiceClient("127.0.0.1", 7071) as cli:
+            cli.insert(points)
+            answer = cli.query()
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 7071,
+                 timeout: float | None = 60.0):
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+
+    # ------------------------------------------------------------ plumbing
+    def request(self, op: str, **fields) -> dict:
+        """Send one op and return its payload; raises on error responses."""
+        self._file.write(encode_message({"op": op, **fields}))
+        self._file.flush()
+        line = self._file.readline()
+        if not line:
+            raise ServiceError(f"connection closed during {op!r}")
+        resp = _decode_response(line)
+        if not resp.get("ok"):
+            raise ServiceError(resp.get("error", f"unknown failure in {op!r}"))
+        return resp
+
+    def close(self) -> None:
+        """Close the connection (idempotent)."""
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ----------------------------------------------------------- operations
+    def ping(self) -> bool:
+        """Liveness check."""
+        return bool(self.request("ping").get("pong"))
+
+    def insert(self, points, batch_size: int = 4096) -> int:
+        """Insert rows of an (n, d) int array; returns events applied."""
+        return self._send_points("insert", points, batch_size)
+
+    def delete(self, points, batch_size: int = 4096) -> int:
+        """Delete rows of an (n, d) int array; returns events applied."""
+        return self._send_points("delete", points, batch_size)
+
+    def query(self, capacity_slack: float | None = None) -> dict:
+        """Solve (or fetch the memoized) clustering of the live stream.
+
+        Returns the result dict with centers/cost/... plus ``cache_hit``.
+        """
+        fields = {}
+        if capacity_slack is not None:
+            fields["capacity_slack"] = float(capacity_slack)
+        resp = self.request("query", **fields)
+        result = dict(resp["result"])
+        result["cache_hit"] = bool(resp["cache_hit"])
+        return result
+
+    def checkpoint(self, path) -> dict:
+        """Ask the server to checkpoint its state to ``path`` (server-side)."""
+        return self.request("checkpoint", path=str(path))
+
+    def restore(self, path) -> dict:
+        """Ask the server to replace its state from ``path`` (server-side)."""
+        return self.request("restore", path=str(path))
+
+    def stats(self) -> dict:
+        """Operational counters (version, events, cache hits, space)."""
+        return self.request("stats")["stats"]
+
+    def shutdown(self) -> None:
+        """Stop the server (the connection closes afterwards)."""
+        self.request("shutdown")
+
+    # ------------------------------------------------------------- helpers
+    def _send_points(self, op: str, points, batch_size: int) -> int:
+        rows = np.asarray(points, dtype=np.int64)
+        if rows.ndim != 2:
+            raise ValueError(f"points must be (n, d), got shape {rows.shape}")
+        total = 0
+        for lo in range(0, len(rows), max(1, int(batch_size))):
+            chunk = rows[lo: lo + batch_size].tolist()
+            total += int(self.request(op, points=chunk)["applied"])
+        return total
+
+
+def _decode_response(line: bytes) -> dict:
+    """Responses reuse the request frame format minus the op check."""
+    return json.loads(line.decode("utf-8"))

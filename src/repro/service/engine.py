@@ -1,0 +1,238 @@
+"""The query engine: merge shards on demand, solve, memoize by version.
+
+A query is expensive — deep-copy + fan-in of every shard, sketch decode,
+coreset assembly, capacitated solve — while ingest is cheap.  The engine
+therefore keys its single-entry result cache on the ingest layer's state
+*version* (bumped once per applied batch): repeated queries against an
+unchanged stream return the memoized :class:`QueryResult` in O(1), and any
+intervening ingest invalidates it implicitly, with no bookkeeping beyond an
+integer comparison.  ``stats()`` exposes hit/miss counters so cache behavior
+is observable over the wire.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.io import atomic_write_json, params_to_dict, read_json
+from repro.core.params import CoresetParams
+from repro.service.shards import ShardedIngest
+from repro.service.state import STATE_FORMAT_VERSION, sharded_state_from_dict, sharded_state_to_dict
+from repro.solvers.capacitated_lloyd import CapacitatedKClustering
+from repro.utils.rng import derive_seed
+
+__all__ = ["ServiceConfig", "QueryResult", "ClusteringService"]
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Everything needed to (re)create a service instance."""
+
+    k: int
+    d: int
+    delta: int
+    r: float = 2.0
+    eps: float = 0.25
+    eta: float = 0.25
+    num_shards: int = 4
+    seed: int = 0
+    backend: str = "exact"
+    #: Uniform capacity as a multiple of total_weight/k at query time.
+    capacity_slack: float = 1.2
+    #: k-means++ restarts of the capacitated solver per query.
+    restarts: int = 2
+    #: Optional guess window (lo, hi); None = auto-pilot over the full range.
+    o_range: tuple[float, float] | None = None
+
+    def make_params(self) -> CoresetParams:
+        """The shared :class:`CoresetParams` of every shard."""
+        return CoresetParams.practical(k=self.k, d=self.d, delta=self.delta,
+                                       r=self.r, eps=self.eps, eta=self.eta)
+
+    def to_dict(self) -> dict:
+        """JSON-safe form (inverse: :meth:`from_dict`)."""
+        data = dataclasses.asdict(self)
+        data["o_range"] = list(self.o_range) if self.o_range is not None else None
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ServiceConfig":
+        data = dict(data)
+        if data.get("o_range") is not None:
+            data["o_range"] = tuple(data["o_range"])
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """One solved clustering snapshot of the live stream."""
+
+    #: (k, d) solved centers in grid coordinates.
+    centers: np.ndarray
+    #: Capacitated cost of the solution *on the coreset*.
+    cost: float
+    #: Uniform capacity used by the solve.
+    capacity: float
+    #: Coreset size the solve ran on.
+    coreset_size: int
+    #: Accepted guess o of the winning instance.
+    o: float
+    #: Ingest-state version this result reflects.
+    version: int
+
+    def to_dict(self) -> dict:
+        """JSON-safe form for the wire protocol."""
+        return {
+            "centers": self.centers.tolist(),
+            "cost": self.cost,
+            "capacity": self.capacity,
+            "coreset_size": self.coreset_size,
+            "o": self.o,
+            "version": self.version,
+        }
+
+
+class ClusteringService:
+    """Long-lived balanced-clustering service over a sharded dynamic stream.
+
+    Thread-safe: one lock serializes state mutation and queries (the wire
+    server is threaded per connection).  All randomness is seeded through
+    the config, so two services fed the same events answer identically.
+    """
+
+    def __init__(self, config: ServiceConfig, ingest: ShardedIngest | None = None):
+        self.config = config
+        self.params = config.make_params()
+        if ingest is None:
+            ingest = ShardedIngest(
+                self.params, num_shards=config.num_shards, seed=config.seed,
+                backend=config.backend, o_range=config.o_range,
+            )
+        self.ingest = ingest
+        self._lock = threading.RLock()
+        self._cached: QueryResult | None = None
+        self.queries = 0
+        self.cache_hits = 0
+
+    # -------------------------------------------------------------- ingest
+    def insert(self, points) -> int:
+        """Insert rows of an (n, d) int array; returns events applied."""
+        with self._lock:
+            return self.ingest.insert_points(points)
+
+    def delete(self, points) -> int:
+        """Delete rows of an (n, d) int array; returns events applied."""
+        with self._lock:
+            return self.ingest.delete_points(points)
+
+    def apply_events(self, events) -> int:
+        """Apply a mixed batch of (point, ±1) events."""
+        with self._lock:
+            return self.ingest.apply_batch(events)
+
+    # -------------------------------------------------------------- queries
+    def query(self, capacity_slack: float | None = None) -> tuple[QueryResult, bool]:
+        """Solve capacitated k-clustering on the current live set.
+
+        Returns ``(result, cache_hit)``.  A non-default ``capacity_slack``
+        bypasses the cache (the memoized solve used the configured slack).
+        """
+        with self._lock:
+            version = self.ingest.version
+            self.queries += 1
+            if (capacity_slack is None and self._cached is not None
+                    and self._cached.version == version):
+                self.cache_hits += 1
+                return self._cached, True
+            slack = self.config.capacity_slack if capacity_slack is None else capacity_slack
+            merged = self.ingest.merged_state()
+        # Finalize + solve outside the lock: they only touch the merged
+        # deep copy, so ingest can proceed concurrently.
+        coreset, instance = merged.finalize_with_instance()
+        capacity = max(coreset.total_weight / self.params.k * slack, 1e-12)
+        solver = CapacitatedKClustering(
+            k=self.params.k, capacity=capacity, r=self.params.r,
+            restarts=self.config.restarts,
+            seed=derive_seed(self.config.seed, "service-solve"),
+        )
+        sol = solver.fit(coreset.points.astype(float), weights=coreset.weights)
+        result = QueryResult(
+            centers=np.asarray(sol.centers, dtype=float),
+            cost=float(sol.cost),
+            capacity=float(capacity),
+            coreset_size=len(coreset),
+            o=float(coreset.o),
+            version=version,
+        )
+        with self._lock:
+            if capacity_slack is None:
+                self._cached = result
+        return result, False
+
+    # ----------------------------------------------------------- persistence
+    def checkpoint(self, path) -> dict:
+        """Atomically persist config + full shard state + version to disk."""
+        with self._lock:
+            payload = {
+                "format_version": STATE_FORMAT_VERSION,
+                "config": self.config.to_dict(),
+                "ingest": sharded_state_to_dict(self.ingest),
+            }
+            atomic_write_json(path, payload)
+            return {"path": str(path), "version": self.ingest.version,
+                    "events": self.ingest.num_events}
+
+    @classmethod
+    def restore(cls, path) -> "ClusteringService":
+        """Rebuild a service from :meth:`checkpoint` output.
+
+        The restored instance is bit-identical: same hash randomness (it is
+        derived from the config seed), same sketch contents, same version —
+        so its next ``query`` answers exactly as the checkpointed process
+        would have.
+        """
+        payload = read_json(path)
+        if payload.get("format_version") != STATE_FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported service checkpoint format {payload.get('format_version')!r}"
+            )
+        config = ServiceConfig.from_dict(payload["config"])
+        ingest = sharded_state_from_dict(payload["ingest"])
+        if ingest.params != config.make_params():
+            raise ValueError("checkpoint shard parameters do not match its config")
+        return cls(config, ingest=ingest)
+
+    def restore_in_place(self, path) -> None:
+        """Replace this service's state with a checkpoint (keeps the object,
+        and hence the wire server holding it, alive)."""
+        fresh = ClusteringService.restore(path)
+        with self._lock:
+            self.config = fresh.config
+            self.params = fresh.params
+            self.ingest = fresh.ingest
+            self._cached = None
+
+    # ---------------------------------------------------------------- stats
+    def stats(self) -> dict:
+        """Operational counters (also served over the wire)."""
+        with self._lock:
+            return {
+                "version": self.ingest.version,
+                "num_shards": self.ingest.num_shards,
+                "events": self.ingest.num_events,
+                "events_per_shard": list(self.ingest.events_per_shard),
+                "insertions": self.ingest.num_insertions,
+                "deletions": self.ingest.num_deletions,
+                "live_points": self.ingest.num_insertions - self.ingest.num_deletions,
+                "queries": self.queries,
+                "cache_hits": self.cache_hits,
+                "cached_version": (self._cached.version
+                                   if self._cached is not None else None),
+                "space_bits": self.ingest.space_bits(),
+                "params": params_to_dict(self.params),
+            }
+

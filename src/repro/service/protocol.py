@@ -1,0 +1,66 @@
+"""JSON-lines wire protocol shared by the server and the client.
+
+One request per line, one response per line, UTF-8 JSON — trivially
+debuggable with ``nc`` and language-agnostic.  Requests are objects with an
+``op`` field; responses always carry ``ok`` (bool) plus either the op's
+payload or an ``error`` string.  Malformed input yields an error response,
+never a dropped connection, so a misbehaving client cannot wedge a worker
+thread mid-frame.
+"""
+
+from __future__ import annotations
+
+import json
+
+__all__ = [
+    "MAX_LINE_BYTES",
+    "OPS",
+    "ProtocolError",
+    "decode_line",
+    "encode_message",
+    "error_response",
+    "ok_response",
+]
+
+#: Backstop against unbounded request frames (ingest batches should be
+#: chunked client-side well below this).
+MAX_LINE_BYTES = 64 * 1024 * 1024
+
+#: The operations the service exposes.
+OPS = ("ping", "insert", "delete", "query", "checkpoint", "restore",
+       "stats", "shutdown")
+
+
+class ProtocolError(ValueError):
+    """A request line that cannot be parsed into a valid operation."""
+
+
+def encode_message(obj: dict) -> bytes:
+    """Serialize one message to a newline-terminated JSON frame."""
+    return json.dumps(obj, separators=(",", ":")).encode("utf-8") + b"\n"
+
+
+def decode_line(line: bytes) -> dict:
+    """Parse one request frame; raises :class:`ProtocolError` on junk."""
+    if len(line) > MAX_LINE_BYTES:
+        raise ProtocolError(f"request exceeds {MAX_LINE_BYTES} bytes")
+    try:
+        obj = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"malformed JSON request: {exc}") from exc
+    if not isinstance(obj, dict):
+        raise ProtocolError("request must be a JSON object")
+    op = obj.get("op")
+    if op not in OPS:
+        raise ProtocolError(f"unknown op {op!r}; expected one of {OPS}")
+    return obj
+
+
+def ok_response(**payload) -> dict:
+    """A success response carrying ``payload``."""
+    return {"ok": True, **payload}
+
+
+def error_response(message: str) -> dict:
+    """A failure response with a human-readable reason."""
+    return {"ok": False, "error": str(message)}

@@ -1,0 +1,148 @@
+"""Stdlib TCP server exposing a :class:`ClusteringService` over JSON lines.
+
+``socketserver.ThreadingTCPServer`` with one handler thread per connection;
+the service's own lock serializes state access, so any number of clients
+can ingest and query concurrently.  No dependencies beyond the standard
+library — the service runs anywhere the library does.
+"""
+
+from __future__ import annotations
+
+import socketserver
+import threading
+
+import numpy as np
+
+from repro.service.engine import ClusteringService, ServiceConfig
+from repro.service.protocol import (
+    ProtocolError,
+    decode_line,
+    encode_message,
+    error_response,
+    ok_response,
+)
+from repro.utils.validation import FailedConstruction
+
+__all__ = ["ClusteringServer", "start_server", "serve_forever"]
+
+
+def _parse_points(req: dict, d: int) -> np.ndarray:
+    """Validate a request's ``points`` field into an (n, d) int array."""
+    pts = req.get("points")
+    if not isinstance(pts, list) or not pts:
+        raise ProtocolError("'points' must be a non-empty list of rows")
+    arr = np.asarray(pts, dtype=np.int64)
+    if arr.ndim != 2 or arr.shape[1] != d:
+        raise ProtocolError(f"'points' must be (n, {d}), got shape {arr.shape}")
+    return arr
+
+
+class _Handler(socketserver.StreamRequestHandler):
+    """One connection: loop over request lines until EOF or shutdown."""
+
+    def handle(self) -> None:  # pragma: no cover - exercised via sockets
+        while True:
+            line = self.rfile.readline()
+            if not line:
+                return
+            if not line.strip():
+                continue
+            response, stop = self.server.dispatch(line)
+            self.wfile.write(encode_message(response))
+            self.wfile.flush()
+            if stop:
+                return
+
+
+class ClusteringServer(socketserver.ThreadingTCPServer):
+    """Threaded JSON-lines front-end for one :class:`ClusteringService`."""
+
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(self, address: tuple[str, int], service: ClusteringService):
+        super().__init__(address, _Handler)
+        self.service = service
+
+    # ------------------------------------------------------------- dispatch
+    def dispatch(self, line: bytes) -> tuple[dict, bool]:
+        """Route one request line; returns (response, close_connection)."""
+        try:
+            req = decode_line(line)
+            return self._execute(req)
+        except ProtocolError as exc:
+            return error_response(str(exc)), False
+        except FailedConstruction as exc:
+            return error_response(f"construction failed: {exc.reason}"), False
+        except Exception as exc:  # surface, don't kill the worker thread
+            return error_response(f"{type(exc).__name__}: {exc}"), False
+
+    def _execute(self, req: dict) -> tuple[dict, bool]:
+        service = self.service
+        op = req["op"]
+        if op == "ping":
+            return ok_response(pong=True), False
+        if op == "insert":
+            n = service.insert(_parse_points(req, service.params.d))
+            return ok_response(applied=n, version=service.ingest.version), False
+        if op == "delete":
+            n = service.delete(_parse_points(req, service.params.d))
+            return ok_response(applied=n, version=service.ingest.version), False
+        if op == "query":
+            slack = req.get("capacity_slack")
+            result, hit = service.query(
+                capacity_slack=float(slack) if slack is not None else None)
+            return ok_response(result=result.to_dict(), cache_hit=hit), False
+        if op == "checkpoint":
+            if not req.get("path"):
+                raise ProtocolError("'checkpoint' needs a 'path'")
+            return ok_response(**service.checkpoint(req["path"])), False
+        if op == "restore":
+            if not req.get("path"):
+                raise ProtocolError("'restore' needs a 'path'")
+            service.restore_in_place(req["path"])
+            return ok_response(version=service.ingest.version,
+                               events=service.ingest.num_events), False
+        if op == "stats":
+            return ok_response(stats=service.stats()), False
+        if op == "shutdown":
+            # Shut down asynchronously: serve_forever() must not be joined
+            # from a handler thread it itself is blocking on.
+            threading.Thread(target=self.shutdown, daemon=True).start()
+            return ok_response(stopping=True), True
+        raise ProtocolError(f"unhandled op {op!r}")  # unreachable; decode_line vets
+
+
+def start_server(service: ClusteringService, host: str = "127.0.0.1",
+                 port: int = 0) -> tuple[ClusteringServer, threading.Thread]:
+    """Bind and serve in a daemon thread; returns (server, thread).
+
+    ``port=0`` picks a free port — read it back from
+    ``server.server_address``.  Used by tests and by embedders that want the
+    service in-process.
+    """
+    server = ClusteringServer((host, port), service)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    return server, thread
+
+
+def serve_forever(config: ServiceConfig, host: str, port: int,
+                  restore_path=None) -> None:
+    """Blocking entry point used by ``repro serve``."""
+    if restore_path:
+        service = ClusteringService.restore(restore_path)
+        print(f"restored state from {restore_path} "
+              f"(version {service.ingest.version}, {service.ingest.num_events} events)")
+    else:
+        service = ClusteringService(config)
+    with ClusteringServer((host, port), service) as server:
+        addr = server.server_address
+        print(f"repro service listening on {addr[0]}:{addr[1]} "
+              f"(k={service.params.k}, d={service.params.d}, "
+              f"delta={service.params.delta}, shards={service.ingest.num_shards}, "
+              f"backend={service.config.backend})")
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:  # pragma: no cover - interactive only
+            print("shutting down")

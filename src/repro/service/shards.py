@@ -1,0 +1,204 @@
+"""Sharded ingest: one logical dynamic stream over N parallel sketches.
+
+Every shard is a full :class:`~repro.streaming.streaming_coreset.StreamingCoreset`
+built from the *same* ``(params, seed)`` — hence identical grid shift, hash
+polynomials, and sketch layouts.  Because all of that state is a linear
+sketch, the sum of the shards equals the state of a single driver that saw
+the whole stream, and
+:func:`~repro.streaming.merge.merge_streaming_states` fan-in is *exact*,
+not approximate (Section 4.3's streaming↔distributed bridge).
+
+Routing is by point key, so an insertion and its later deletion meet in the
+same shard and per-shard live sets stay balanced.  Linearity means this is
+an optimization, not a requirement: a deletion applied to a *different*
+shard than its insertion leaves that shard with a negative count that
+cancels at merge time (the cross-shard-deletion tests exercise exactly
+this), which is what makes at-least-once routing layers safe to put in
+front of the service.
+"""
+
+from __future__ import annotations
+
+import copy
+
+import numpy as np
+
+from repro.core.params import CoresetParams
+from repro.grid.grids import HierarchicalGrids
+from repro.streaming.merge import merge_streaming_states
+from repro.streaming.stream import StreamEvent
+from repro.streaming.streaming_coreset import StreamingCoreset
+from repro.utils.rng import derive_seed
+
+__all__ = ["ShardedIngest"]
+
+#: Fibonacci-style multiplicative mixer: point keys are mixed-radix encodings
+#: whose low bits carry only the last coordinate, so reducing the raw key
+#: modulo ``num_shards`` would route entire coordinate slices to one shard.
+_MIX = 0x9E3779B97F4A7C15
+_MIX_MASK = (1 << 64) - 1
+
+
+def _mix(key: int) -> int:
+    """64-bit multiplicative hash spreading structured point keys."""
+    h = (int(key) * _MIX) & _MIX_MASK
+    h ^= h >> 29
+    return h
+
+
+class ShardedIngest:
+    """Partition one logical dynamic stream across N sketch shards.
+
+    Parameters
+    ----------
+    params:
+        Shared :class:`CoresetParams` of every shard.
+    num_shards:
+        Number of independent sketches; each sees ~1/N of the events.
+    seed:
+        Shared by *all* shards — this is what makes merging exact.
+    backend, o_range, auto_pilot:
+        Forwarded to every :class:`StreamingCoreset`.
+
+    Notes
+    -----
+    Every applied batch bumps :attr:`version`; the query engine keys its
+    memoization on it, so "has anything changed since the last query?" is a
+    single integer comparison.
+    """
+
+    def __init__(
+        self,
+        params: CoresetParams,
+        num_shards: int = 4,
+        seed: int = 0,
+        backend: str = "exact",
+        o_range: tuple[float, float] | None = None,
+        auto_pilot: bool | None = None,
+    ):
+        if num_shards < 1:
+            raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+        # One grid object shared by all shards (identical by construction
+        # anyway, since the shift is derived from the shared seed).
+        grids = HierarchicalGrids(params.delta, params.d,
+                                  seed=derive_seed(seed, "grids"))
+        self.shards = [
+            StreamingCoreset(params, seed=seed, backend=backend,
+                             o_range=o_range, grids=grids, auto_pilot=auto_pilot)
+            for _ in range(num_shards)
+        ]
+        self._init_counters()
+
+    def _init_counters(self) -> None:
+        self.version = 0
+        self.events_per_shard = [0] * len(self.shards)
+        self.num_insertions = 0
+        self.num_deletions = 0
+
+    @classmethod
+    def from_shards(cls, shards: list[StreamingCoreset]) -> "ShardedIngest":
+        """Adopt restored shards (used by checkpoint restore)."""
+        if not shards:
+            raise ValueError("need at least one shard")
+        ingest = cls.__new__(cls)
+        ingest.shards = list(shards)
+        ingest._init_counters()
+        return ingest
+
+    # ---------------------------------------------------------------- meta
+    @property
+    def num_shards(self) -> int:
+        """Number of shards."""
+        return len(self.shards)
+
+    @property
+    def params(self) -> CoresetParams:
+        """The shared problem parameters."""
+        return self.shards[0].params
+
+    @property
+    def num_events(self) -> int:
+        """Total events applied across all shards."""
+        return sum(self.events_per_shard)
+
+    def shard_of(self, point) -> int:
+        """Deterministic shard index of a point (same for insert/delete)."""
+        key = self.shards[0].grids.point_codec.encode_one(point)
+        return _mix(key) % len(self.shards)
+
+    # -------------------------------------------------------------- ingest
+    def apply(self, point, sign: int) -> int:
+        """Apply one update to its shard; returns the shard index.
+
+        Bumps :attr:`version` — prefer :meth:`apply_batch` for bulk traffic
+        so the version moves once per batch.
+        """
+        idx = self._apply_one(point, sign)
+        self.version += 1
+        return idx
+
+    def apply_batch(self, events) -> int:
+        """Apply a batch of events (StreamEvent or (point, sign) pairs).
+
+        Events are grouped per shard and fed through
+        :meth:`StreamingCoreset.process` so hash values are computed in
+        vectorized sweeps; within each shard the original order is kept
+        (irrelevant for the linear sketches, cheap to preserve).  Returns
+        the number of events applied; bumps :attr:`version` once.
+        """
+        groups: dict[int, list] = {}
+        count = 0
+        for ev in events:
+            point, sign = ((ev.point, ev.sign) if isinstance(ev, StreamEvent)
+                           else (tuple(int(c) for c in ev[0]), int(ev[1])))
+            idx = self.shard_of(point)
+            groups.setdefault(idx, []).append((point, sign))
+            count += 1
+        for idx, batch in groups.items():
+            self.shards[idx].process(batch)
+            self.events_per_shard[idx] += len(batch)
+            for _, sign in batch:
+                self._count_sign(sign)
+        if count:
+            self.version += 1
+        return count
+
+    def insert_points(self, points) -> int:
+        """Insert each row of an (n, d) array; one version bump."""
+        rows = np.asarray(points, dtype=np.int64)
+        return self.apply_batch((tuple(int(c) for c in row), 1) for row in rows)
+
+    def delete_points(self, points) -> int:
+        """Delete each row of an (n, d) array; one version bump."""
+        rows = np.asarray(points, dtype=np.int64)
+        return self.apply_batch((tuple(int(c) for c in row), -1) for row in rows)
+
+    def _apply_one(self, point, sign: int) -> int:
+        point = tuple(int(c) for c in point)
+        idx = self.shard_of(point)
+        self.shards[idx].update(point, sign)
+        self.events_per_shard[idx] += 1
+        self._count_sign(sign)
+        return idx
+
+    def _count_sign(self, sign: int) -> None:
+        if sign > 0:
+            self.num_insertions += 1
+        else:
+            self.num_deletions += 1
+
+    # --------------------------------------------------------------- fan-in
+    def merged_state(self) -> StreamingCoreset:
+        """A fresh driver equal to one that saw the entire stream.
+
+        Deep-copies shard 0 (merging is in-place and must not disturb live
+        ingest state) and folds the remaining shards in; they are only read.
+        """
+        merged = copy.deepcopy(self.shards[0])
+        for shard in self.shards[1:]:
+            merge_streaming_states(merged, shard)
+        return merged
+
+    def space_bits(self) -> int:
+        """Total charged sketch bits across all shards."""
+        return sum(s.space_bits() for s in self.shards)

@@ -1,0 +1,206 @@
+"""Bit-exact serialization of live streaming sketch state (checkpoints).
+
+:mod:`repro.core.io` persists *finished* coresets — a summary frozen at
+finalize time.  A long-running service additionally needs to persist the
+*live* sketches mid-stream so a process can restart and keep ingesting.
+
+The key observation making this cheap: every random choice inside a
+:class:`~repro.streaming.streaming_coreset.StreamingCoreset` (grid shift,
+hash polynomials, sketch layouts) is derived deterministically from
+``(params, seed)``.  A checkpoint therefore stores only
+
+1. the construction arguments (params dict, seed, backend, guess window,
+   ``prefer``, ``auto_pilot``), and
+2. the *data* the stream wrote: per-instance Storing contents, the pilot
+   ℓ₀-sampler buckets, the update counter, and any early-kill verdicts.
+
+Restore rebuilds the driver from the arguments — regenerating identical
+randomness — and pours the data back in.  The round trip is bit-identical:
+``finalize()`` on the restored driver replays the same decode on the same
+sketch contents.  Everything is JSON (Python's ``json`` round-trips the
+arbitrary-precision integers our point/cell keys need), so checkpoints are
+portable and diffable.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.core.io import params_from_dict, params_to_dict
+from repro.streaming.storing import ExactStoring, SketchStoring
+from repro.streaming.streaming_coreset import StreamingCoreset
+
+__all__ = [
+    "STATE_FORMAT_VERSION",
+    "streaming_state_to_dict",
+    "streaming_state_from_dict",
+    "sharded_state_to_dict",
+    "sharded_state_from_dict",
+]
+
+STATE_FORMAT_VERSION = 1
+
+
+# ---------------------------------------------------------------- storing
+def _storing_to_dict(store) -> dict:
+    """Serialize one Storing structure's *contents* (layout is seed-derived)."""
+    if isinstance(store, ExactStoring):
+        return {
+            "kind": "exact",
+            "cells": [[int(c), int(n)] for c, n in store._cells.items()],
+            "points": [
+                [int(cell), [[int(p), int(n)] for p, n in pts.items()]]
+                for cell, pts in store._points.items()
+            ],
+        }
+    if isinstance(store, SketchStoring):
+        return {
+            "kind": "sketch",
+            "cells": [[r, p, b[0], int(b[1]), int(b[2])]
+                      for (r, p), b in store._cells.buckets.items()],
+            "nested": [
+                [r, p, [[r2, p2, b[0], int(b[1]), int(b[2])]
+                        for (r2, p2), b in sk.buckets.items()]]
+                for (r, p), sk in store._nested.items()
+            ],
+        }
+    raise TypeError(f"unknown Storing type {type(store)!r}")
+
+
+def _storing_from_dict(store, data: dict) -> None:
+    """Pour serialized contents back into a freshly constructed Storing."""
+    if isinstance(store, ExactStoring):
+        if data["kind"] != "exact":
+            raise ValueError("checkpoint backend mismatch (expected exact)")
+        store._cells = Counter({int(c): int(n) for c, n in data["cells"]})
+        store._points = {
+            int(cell): Counter({int(p): int(n) for p, n in pts})
+            for cell, pts in data["points"]
+        }
+        return
+    if isinstance(store, SketchStoring):
+        if data["kind"] != "sketch":
+            raise ValueError("checkpoint backend mismatch (expected sketch)")
+        store._cells.buckets = {
+            (r, p): [c, ks, fs] for r, p, c, ks, fs in data["cells"]
+        }
+        store._nested = {}
+        for r, p, buckets in data["nested"]:
+            sk = store._nested_at(r, p)
+            sk.buckets = {(r2, p2): [c, ks, fs] for r2, p2, c, ks, fs in buckets}
+        return
+    raise TypeError(f"unknown Storing type {type(store)!r}")
+
+
+# ------------------------------------------------------------- one driver
+def streaming_state_to_dict(sc: StreamingCoreset) -> dict:
+    """Full JSON-safe state of one :class:`StreamingCoreset`."""
+    instances = []
+    for inst in sc.instances:
+        instances.append({
+            "o": inst.o,
+            "dead_reason": inst.dead_reason,
+            "store_h": [_storing_to_dict(s) for s in inst.store_h],
+            "store_hp": [_storing_to_dict(s) for s in inst.store_hp],
+            "store_hhat": [_storing_to_dict(s) for s in inst.store_hhat],
+        })
+    pilot = None
+    if sc._pilot_sampler is not None:
+        pilot = [
+            [[r, p, b[0], int(b[1]), int(b[2])] for (r, p), b in sk.buckets.items()]
+            for sk in sc._pilot_sampler._sketches
+        ]
+    return {
+        "format_version": STATE_FORMAT_VERSION,
+        "params": params_to_dict(sc.params),
+        "seed": sc.seed,
+        "backend": sc.backend,
+        "prefer": sc.prefer,
+        "o_range": list(sc.o_range) if sc.o_range is not None else None,
+        "auto_pilot": sc.auto_pilot,
+        "num_updates": sc.num_updates,
+        "instances": instances,
+        "pilot": pilot,
+    }
+
+
+def streaming_state_from_dict(data: dict) -> StreamingCoreset:
+    """Rebuild a :class:`StreamingCoreset` from :func:`streaming_state_to_dict`.
+
+    The driver is reconstructed from its arguments (regenerating identical
+    grids and hash polynomials), then the sketch contents are restored, so
+    the result is indistinguishable from the checkpointed original — it can
+    keep ingesting, merge with sibling shards, and finalize.
+    """
+    if data.get("format_version") != STATE_FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported streaming-state format {data.get('format_version')!r}"
+        )
+    params = params_from_dict(data["params"])
+    o_range = tuple(data["o_range"]) if data["o_range"] is not None else None
+    sc = StreamingCoreset(
+        params,
+        seed=data["seed"],
+        backend=data["backend"],
+        o_range=o_range,
+        prefer=data["prefer"],
+        auto_pilot=data["auto_pilot"],
+    )
+    got = [inst.o for inst in sc.instances]
+    want = [rec["o"] for rec in data["instances"]]
+    if got != want:
+        raise ValueError(
+            f"checkpoint guess schedule {want} does not match rebuilt {got}"
+        )
+    for inst, rec in zip(sc.instances, data["instances"]):
+        inst.dead_reason = rec["dead_reason"]
+        for group, payload in (
+            (inst.store_h, rec["store_h"]),
+            (inst.store_hp, rec["store_hp"]),
+            (inst.store_hhat, rec["store_hhat"]),
+        ):
+            if len(group) != len(payload):
+                raise ValueError("checkpoint level count mismatch")
+            for store, d in zip(group, payload):
+                _storing_from_dict(store, d)
+    if data["pilot"] is not None:
+        if sc._pilot_sampler is None:
+            raise ValueError("checkpoint has pilot state but rebuilt driver has none")
+        for sk, buckets in zip(sc._pilot_sampler._sketches, data["pilot"]):
+            sk.buckets = {(r, p): [c, ks, fs] for r, p, c, ks, fs in buckets}
+    sc.num_updates = int(data["num_updates"])
+    return sc
+
+
+# ----------------------------------------------------------- shard fan-out
+def sharded_state_to_dict(ingest) -> dict:
+    """JSON-safe state of a :class:`~repro.service.shards.ShardedIngest`."""
+    return {
+        "format_version": STATE_FORMAT_VERSION,
+        "num_shards": ingest.num_shards,
+        "version": ingest.version,
+        "events_per_shard": list(ingest.events_per_shard),
+        "num_insertions": ingest.num_insertions,
+        "num_deletions": ingest.num_deletions,
+        "shards": [streaming_state_to_dict(s) for s in ingest.shards],
+    }
+
+
+def sharded_state_from_dict(data: dict):
+    """Rebuild a :class:`~repro.service.shards.ShardedIngest` (inverse of
+    :func:`sharded_state_to_dict`)."""
+    from repro.service.shards import ShardedIngest
+
+    if data.get("format_version") != STATE_FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported sharded-state format {data.get('format_version')!r}"
+        )
+    shards = [streaming_state_from_dict(rec) for rec in data["shards"]]
+    if len(shards) != int(data["num_shards"]):
+        raise ValueError("checkpoint shard count mismatch")
+    ingest = ShardedIngest.from_shards(shards)
+    ingest.version = int(data["version"])
+    ingest.events_per_shard = [int(x) for x in data["events_per_shard"]]
+    ingest.num_insertions = int(data["num_insertions"])
+    ingest.num_deletions = int(data["num_deletions"])
+    return ingest

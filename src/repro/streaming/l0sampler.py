@@ -21,7 +21,6 @@ pipeline genuinely single-pass on dynamic streams.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.hashing.kwise import KWiseHash
 from repro.streaming.sketch import DecodeFailure, IBLTSketch
@@ -95,7 +94,13 @@ class DistinctSampler:
                 last_error = exc
                 continue
             if j == 0 or decoded:
-                return list(decoded.keys()), float(len(decoded)) * (2.0**j)
+                # Sorted: the decode (peeling) order depends on the order
+                # updates touched the buckets, and downstream consumers seed
+                # RNGs over the sample by row index.  Canonicalizing makes
+                # the sample a function of the live *set* alone — required
+                # for shard-merge and checkpoint-restore to answer exactly
+                # like an unsharded, never-restarted run.
+                return sorted(decoded.keys()), float(len(decoded)) * (2.0**j)
         if last_error is not None:
             raise last_error
         return [], 0.0

@@ -334,6 +334,14 @@ class StreamingCoreset:
             raise ValueError(f"prefer must be 'largest' or 'smallest', got {prefer!r}")
         self.prefer = prefer
         self.params = params
+        # Construction arguments, kept so checkpoints (repro.service.state)
+        # can rebuild an identical driver — every bit of randomness below is
+        # derived from (params, seed), so (args, sketch contents) is a
+        # complete, bit-exact description of the state.
+        self.seed = int(seed)
+        self.backend = backend
+        self.o_range = None if o_range is None else (float(o_range[0]), float(o_range[1]))
+        self.auto_pilot = bool(auto_pilot)
         self.grids = grids if grids is not None else HierarchicalGrids(
             params.delta, params.d, seed=derive_seed(seed, "grids"))
         self.shared = _SharedHashes(params, self.grids, derive_seed(seed, "hashes"))

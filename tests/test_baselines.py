@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 from repro.baselines import ThreePassMappingCoreset, sensitivity_coreset, uniform_coreset
-from repro.data.synthetic import gaussian_mixture, unbalanced_mixture
+from repro.data.synthetic import gaussian_mixture
 from repro.data.workloads import churn_stream, insertion_stream
 from repro.metrics.costs import uncapacitated_cost
 from repro.solvers.kmeanspp import kmeans_plusplus

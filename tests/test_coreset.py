@@ -8,7 +8,6 @@ import numpy as np
 import pytest
 
 from repro.core import CoresetParams, build_coreset, build_coreset_auto
-from repro.core.coreset import CoresetBuildError
 from repro.data.synthetic import gaussian_mixture, unbalanced_mixture
 from repro.grid.grids import HierarchicalGrids
 from repro.metrics.costs import capacitated_cost, uncapacitated_cost

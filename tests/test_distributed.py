@@ -7,7 +7,7 @@ import math
 import numpy as np
 import pytest
 
-from repro.core import CoresetParams, build_coreset_auto
+from repro.core import CoresetParams
 from repro.data.synthetic import gaussian_mixture
 from repro.distributed import Network, distributed_coreset, distributed_storing
 from repro.metrics.evaluation import evaluate_coreset_quality

@@ -9,7 +9,6 @@ from hypothesis import strategies as st
 
 from repro.assignment.capacitated import assignment_cost, capacitated_assignment, cluster_sizes
 from repro.core.halfspace import (
-    AssignmentHalfspaces,
     canonicalize_assignment,
     halfspaces_from_assignment,
     is_halfspace_consistent,

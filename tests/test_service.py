@@ -1,0 +1,365 @@
+"""Tests for the long-lived clustering service (repro.service).
+
+Covers the three load-bearing claims of the subsystem:
+
+1. sharding is *exact* — N shards built with shared randomness merge to the
+   state of one driver that saw the whole stream, even when deletions land
+   on a different shard than their insertions;
+2. checkpoint/restore is *bit-identical* — a restored driver finalizes to
+   the same coreset and can keep ingesting in lockstep with the original;
+3. the wire service end-to-end: ingest over TCP, query quality vs the
+   offline pipeline, checkpoint → kill → restore → identical answers, and
+   the version-keyed query cache observable through ``stats``.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.core import CoresetParams, build_coreset_auto
+from repro.core.io import (
+    atomic_write_json,
+    load_streaming_state,
+    read_json,
+    save_streaming_state,
+)
+from repro.data.synthetic import gaussian_mixture
+from repro.data.workloads import churn_stream
+from repro.metrics.costs import capacitated_cost
+from repro.service import (
+    ClusteringService,
+    ServiceClient,
+    ServiceConfig,
+    ShardedIngest,
+    start_server,
+)
+from repro.service.state import (
+    sharded_state_from_dict,
+    sharded_state_to_dict,
+    streaming_state_from_dict,
+    streaming_state_to_dict,
+)
+from repro.solvers.capacitated_lloyd import CapacitatedKClustering
+from repro.streaming import StreamingCoreset, materialize
+from repro.streaming.merge import merge_streaming_states
+
+
+@pytest.fixture(scope="module")
+def world():
+    """Small dynamic-stream instance: (stream, survivors, params)."""
+    pts = np.unique(gaussian_mixture(900, 2, 64, k=3, seed=21), axis=0)
+    stream = churn_stream(pts, delete_fraction=0.35, seed=4)
+    survivors = materialize(stream, d=2)
+    params = CoresetParams.practical(k=3, d=2, delta=64)
+    return stream, survivors, params
+
+
+def _coreset_points(cs):
+    return sorted(map(tuple, cs.points.tolist()))
+
+
+class TestShardRouting:
+    def test_deterministic_and_spread(self, world):
+        stream, _, params = world
+        ing = ShardedIngest(params, num_shards=4, seed=3)
+        points = [ev.point for ev in stream]
+        routes = [ing.shard_of(p) for p in points]
+        assert routes == [ing.shard_of(p) for p in points]  # stable
+        assert len(set(routes)) == 4  # every shard sees traffic
+
+    def test_insert_and_delete_meet_in_same_shard(self, world):
+        stream, _, params = world
+        ing = ShardedIngest(params, num_shards=5, seed=3)
+        for ev in stream:
+            assert ing.shard_of(ev.point) == ing.shard_of(ev.point)
+        ing.apply_batch(stream)
+        # Routing by point key ⇒ per-shard signed counts are non-negative.
+        for shard in ing.shards:
+            inst = shard.instances[0]
+            assert all(c >= 0 for c in inst.store_h[0]._cells.values())
+
+    def test_version_bumps_per_batch_not_per_event(self, world):
+        stream, _, params = world
+        ing = ShardedIngest(params, num_shards=2, seed=3)
+        ing.apply_batch(list(stream)[:10])
+        assert ing.version == 1
+        ing.apply_batch(list(stream)[10:20])
+        assert ing.version == 2
+        ing.apply(list(stream)[20].point, list(stream)[20].sign)
+        assert ing.version == 3
+
+
+class TestShardedMergeExact:
+    @pytest.mark.parametrize("backend", ["exact", "sketch"])
+    def test_three_shards_equal_unsharded(self, world, backend):
+        """≥3 shards of one logical stream merge to the unsharded answer."""
+        stream, _, params = world
+        ref = StreamingCoreset(params, seed=9, backend=backend)
+        ref.process(stream)
+        want = ref.finalize()
+
+        ing = ShardedIngest(params, num_shards=3, seed=9, backend=backend)
+        assert ing.apply_batch(stream) == len(stream)
+        got = ing.merged_state().finalize()
+        assert got.o == want.o
+        assert _coreset_points(got) == _coreset_points(want)
+
+    def test_deletions_crossing_shard_boundaries(self, world):
+        """Round-robin routing sends deletions to different shards than the
+        matching insertions; linearity makes the merged state exact anyway."""
+        stream, _, params = world
+        events = list(stream)
+        shards = [StreamingCoreset(params, seed=9, backend="exact")
+                  for _ in range(3)]
+        for i, ev in enumerate(events):
+            shards[i % 3].update(ev.point, ev.sign)
+        # The round-robin shards really do hold negative entries (a deletion
+        # whose insertion went to a different shard) — the case under test.
+        assert any(
+            cnt < 0
+            for sh in shards
+            for store in sh.instances[0].store_hhat
+            for cell_points in store._points.values()
+            for cnt in cell_points.values()
+        )
+
+        ref = StreamingCoreset(params, seed=9, backend="exact")
+        ref.process(events)
+        want = ref.finalize()
+        merged = shards[0]
+        for other in shards[1:]:
+            merge_streaming_states(merged, other)
+        got = merged.finalize()
+        assert got.o == want.o
+        assert _coreset_points(got) == _coreset_points(want)
+
+    def test_merged_state_does_not_disturb_ingest(self, world):
+        stream, _, params = world
+        ing = ShardedIngest(params, num_shards=2, seed=9)
+        events = list(stream)
+        ing.apply_batch(events[: len(events) // 2])
+        first = ing.merged_state().finalize()
+        # Querying must not consume the shards: keep ingesting and the
+        # final answer matches a fresh unsharded run of the whole stream.
+        ing.apply_batch(events[len(events) // 2:])
+        got = ing.merged_state().finalize()
+        ref = StreamingCoreset(params, seed=9)
+        ref.process(events)
+        assert _coreset_points(got) == _coreset_points(ref.finalize())
+        assert first is not None
+
+
+class TestCheckpointRestore:
+    @pytest.mark.parametrize("backend", ["exact", "sketch"])
+    def test_roundtrip_bit_identical(self, world, backend):
+        stream, _, params = world
+        sc = StreamingCoreset(params, seed=11, backend=backend)
+        sc.process(stream)
+        blob = json.dumps(streaming_state_to_dict(sc))  # JSON-safe end to end
+        restored = streaming_state_from_dict(json.loads(blob))
+        want, got = sc.finalize(), restored.finalize()
+        assert got.o == want.o
+        assert _coreset_points(got) == _coreset_points(want)
+        assert np.allclose(np.sort(got.weights), np.sort(want.weights))
+        assert restored.num_updates == sc.num_updates
+
+    def test_restore_then_continue_ingesting(self, world):
+        """The invariant the service needs: checkpoint mid-stream, restore,
+        keep ingesting — indistinguishable from never having stopped."""
+        stream, _, params = world
+        events = list(stream)
+        half = len(events) // 2
+
+        sc = StreamingCoreset(params, seed=11)
+        sc.process(events[:half])
+        restored = streaming_state_from_dict(streaming_state_to_dict(sc))
+        restored.process(events[half:])
+
+        ref = StreamingCoreset(params, seed=11)
+        ref.process(events)
+        want, got = ref.finalize(), restored.finalize()
+        assert got.o == want.o
+        assert _coreset_points(got) == _coreset_points(want)
+
+    def test_file_roundtrip_is_atomic(self, world, tmp_path):
+        stream, _, params = world
+        sc = StreamingCoreset(params, seed=11)
+        sc.process(stream)
+        path = tmp_path / "state.json"
+        save_streaming_state(path, sc)
+        assert path.exists()
+        assert not list(tmp_path.glob("*.tmp.*"))  # temp file cleaned up
+        restored = load_streaming_state(path)
+        assert _coreset_points(restored.finalize()) == _coreset_points(sc.finalize())
+
+    def test_atomic_write_replaces_whole_file(self, tmp_path):
+        path = tmp_path / "x.json"
+        atomic_write_json(path, {"v": 1})
+        atomic_write_json(path, {"v": 2, "payload": list(range(50))})
+        assert read_json(path)["v"] == 2
+
+    def test_sharded_roundtrip_preserves_counters(self, world):
+        stream, _, params = world
+        ing = ShardedIngest(params, num_shards=3, seed=9)
+        ing.apply_batch(stream)
+        ing2 = sharded_state_from_dict(sharded_state_to_dict(ing))
+        assert ing2.version == ing.version
+        assert ing2.events_per_shard == ing.events_per_shard
+        assert ing2.num_insertions == ing.num_insertions
+        assert ing2.num_deletions == ing.num_deletions
+        assert (_coreset_points(ing2.merged_state().finalize())
+                == _coreset_points(ing.merged_state().finalize()))
+
+    def test_bad_format_version_rejected(self, world):
+        _, _, params = world
+        sc = StreamingCoreset(params, seed=11)
+        data = streaming_state_to_dict(sc)
+        data["format_version"] = 999
+        with pytest.raises(ValueError, match="format"):
+            streaming_state_from_dict(data)
+
+
+class TestQueryEngine:
+    def test_cache_hit_until_ingest_invalidates(self, world):
+        stream, _, params = world
+        svc = ClusteringService(
+            ServiceConfig(k=3, d=2, delta=64, num_shards=2, seed=17))
+        svc.apply_events(stream)
+        r1, hit1 = svc.query()
+        r2, hit2 = svc.query()
+        assert not hit1 and hit2
+        assert r2 is r1  # memoized object, O(1) path
+        svc.delete(materialize(stream, d=2)[:3])
+        r3, hit3 = svc.query()
+        assert not hit3 and r3.version > r1.version
+        stats = svc.stats()
+        assert stats["queries"] == 3 and stats["cache_hits"] == 1
+
+    def test_nondefault_slack_bypasses_cache(self, world):
+        stream, _, params = world
+        svc = ClusteringService(
+            ServiceConfig(k=3, d=2, delta=64, num_shards=2, seed=17))
+        svc.apply_events(stream)
+        svc.query()
+        result, hit = svc.query(capacity_slack=2.0)
+        assert not hit
+        assert result.capacity > svc.query()[0].capacity
+
+    def test_service_checkpoint_restore(self, world, tmp_path):
+        stream, _, params = world
+        svc = ClusteringService(
+            ServiceConfig(k=3, d=2, delta=64, num_shards=3, seed=17))
+        svc.apply_events(stream)
+        want, _ = svc.query()
+        info = svc.checkpoint(tmp_path / "svc.json")
+        assert info["version"] == svc.ingest.version
+
+        twin = ClusteringService.restore(tmp_path / "svc.json")
+        got, hit = twin.query()
+        assert not hit  # the result cache is not part of the checkpoint
+        assert np.allclose(got.centers, want.centers)
+        assert got.cost == want.cost and got.o == want.o
+
+
+class TestServiceEndToEnd:
+    """The acceptance-criterion scenario, over a real TCP socket."""
+
+    def test_ingest_query_checkpoint_restore(self, world, tmp_path):
+        stream, survivors, params = world
+        config = ServiceConfig(k=3, d=2, delta=64, num_shards=2, seed=17,
+                               capacity_slack=1.2)
+        server, _ = start_server(ClusteringService(config))
+        host, port = server.server_address
+        inserts = np.array([ev.point for ev in stream if ev.sign > 0])
+        deletes = np.array([ev.point for ev in stream if ev.sign < 0])
+        ckpt = tmp_path / "e2e.ckpt.json"
+        try:
+            with ServiceClient(host, port) as cli:
+                assert cli.ping()
+                assert cli.insert(inserts, batch_size=64) == len(inserts)
+                assert cli.delete(deletes) == len(deletes)
+
+                answer = cli.query()
+                assert not answer["cache_hit"]
+                centers = np.asarray(answer["centers"], dtype=float)
+                assert centers.shape == (3, 2)
+
+                # Quality vs the offline pipeline on the materialized set.
+                t = len(survivors) / 3 * config.capacity_slack
+                off_cs = build_coreset_auto(survivors, params, seed=17)
+                solver = CapacitatedKClustering(
+                    k=3, capacity=off_cs.total_weight / 3 * config.capacity_slack,
+                    r=2.0, restarts=2, seed=17)
+                off = solver.fit(off_cs.points.astype(float),
+                                 weights=off_cs.weights)
+                svc_cost = capacitated_cost(survivors, centers, t, r=2.0)
+                off_cost = capacitated_cost(survivors, off.centers, t, r=2.0)
+                assert svc_cost <= (1 + 4 * params.eps) * off_cost
+
+                # Unchanged stream ⇒ second query is served from cache.
+                again = cli.query()
+                assert again["cache_hit"]
+                assert again["centers"] == answer["centers"]
+                assert cli.stats()["cache_hits"] == 1
+
+                cli.checkpoint(ckpt)
+        finally:
+            server.shutdown()
+            server.server_close()
+
+        # "Kill" the server; a fresh process restores and answers identically.
+        twin, _ = start_server(ClusteringService.restore(ckpt))
+        try:
+            with ServiceClient(*twin.server_address) as cli:
+                restored = cli.query()
+                assert restored["centers"] == answer["centers"]
+                assert restored["cost"] == answer["cost"]
+                assert restored["version"] == answer["version"]
+        finally:
+            twin.shutdown()
+            twin.server_close()
+
+    def test_malformed_requests_get_error_responses(self, world):
+        server, _ = start_server(ClusteringService(
+            ServiceConfig(k=3, d=2, delta=64, num_shards=2, seed=1)))
+        host, port = server.server_address
+        try:
+            import socket
+
+            with socket.create_connection((host, port), timeout=10) as sock:
+                fh = sock.makefile("rwb")
+                for junk in (b"not json\n", b'{"op": "nope"}\n',
+                             b'{"op": "insert", "points": "x"}\n'):
+                    fh.write(junk)
+                    fh.flush()
+                    resp = json.loads(fh.readline())
+                    assert resp["ok"] is False and resp["error"]
+                # The connection survives all of that.
+                fh.write(b'{"op": "ping"}\n')
+                fh.flush()
+                assert json.loads(fh.readline())["ok"] is True
+        finally:
+            server.shutdown()
+            server.server_close()
+
+
+class TestModuleEntryPoint:
+    def test_python_dash_m_repro(self):
+        """Satellite: ``python -m repro`` must resolve to the CLI."""
+        import os
+        from pathlib import Path
+
+        src = str(Path(__file__).resolve().parents[1] / "src")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "--help"],
+            capture_output=True, text=True, timeout=120, env=env,
+        )
+        assert proc.returncode == 0
+        assert "serve" in proc.stdout and "client" in proc.stdout

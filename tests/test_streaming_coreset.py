@@ -7,7 +7,7 @@ import math
 import numpy as np
 import pytest
 
-from repro.core import CoresetParams, build_coreset
+from repro.core import CoresetParams
 from repro.data.synthetic import gaussian_mixture
 from repro.data.workloads import churn_stream, deletion_heavy_stream, insertion_stream
 from repro.metrics.evaluation import evaluate_coreset_quality
