@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-verbose bench examples artifacts lint clean
+.PHONY: install test test-verbose bench bench-smoke examples artifacts lint clean
 
 install:
 	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -15,6 +15,11 @@ test-verbose:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+# Quick serial-vs-parallel ingest check (2 workers); writes BENCH_service.json
+# and fails if the parallel backend's state diverges from the serial one.
+bench-smoke:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_service_throughput.py --smoke
 
 examples:
 	for f in examples/*.py; do echo "== $$f"; $(PYTHON) $$f || exit 1; done

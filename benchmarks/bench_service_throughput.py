@@ -1,23 +1,41 @@
 """Service benchmark — sharded ingest throughput and query-cache latency.
 
 The numbers every later scaling PR moves: (a) ingest events/sec through the
-sharded layer vs shard count, (b) cold (merge + decode + solve) vs cached
-query latency, and (c) checkpoint write/restore time — measured from this
-PR onward so the trajectory is visible.
+sharded layer vs shard count, (b) serial vs process-parallel ingest through
+the same shard layout (bit-identical results, wall-clock diverges with
+cores), (c) cold (merge + decode + solve) vs cached query latency, and
+(d) checkpoint write/restore time — measured from this PR onward so the
+trajectory is visible.
+
+Also runnable as a script (spawn-safe: workers re-import this file, so it
+must stay a real file, never piped through stdin)::
+
+    PYTHONPATH=src python benchmarks/bench_service_throughput.py --smoke
+
+which runs a reduced serial-vs-parallel curve and records it in
+``BENCH_service.json`` at the repo root (``make bench-smoke``).
 """
 
 from __future__ import annotations
 
+import json
+import os
 import time
+from pathlib import Path
 
 import pytest
 
 from common import make_mixture, print_table
+from repro.core import CoresetParams
 from repro.data.workloads import churn_stream
-from repro.service import ClusteringService, ServiceConfig, ShardedIngest
+from repro.service import (
+    ClusteringService,
+    ServiceConfig,
+    ShardedIngest,
+    WorkerPoolIngest,
+)
 from repro.solvers.pilot import estimate_opt_cost
 from repro.streaming import materialize
-from repro.core import CoresetParams
 
 
 def _workload(n: int = 4000, delta: int = 1024, seed: int = 3):
@@ -26,6 +44,71 @@ def _workload(n: int = 4000, delta: int = 1024, seed: int = 3):
     survivors = materialize(stream, d=2)
     pilot = estimate_opt_cost(survivors, 3, r=2.0, seed=seed)
     return stream, survivors, pilot
+
+
+def _canonical(state_dict: dict) -> str:
+    return json.dumps(state_dict, sort_keys=True)
+
+
+def run_parallel_curve(n: int = 4000, delta: int = 1024,
+                       workers: tuple = (2, 4), batch: int = 1024,
+                       seed: int = 3) -> dict:
+    """Serial vs process-parallel ingest over the same shard layout.
+
+    For each worker count W, feed the identical chunked stream through
+    ``ShardedIngest(num_shards=W)`` (serial baseline) and
+    ``WorkerPoolIngest(num_workers=W)``, timing enqueue *plus drain* for
+    the pool (``worker_stats`` queues behind all batches), and check the
+    two checkpoints are byte-identical.  Pool spawn time is reported
+    separately — it is a fixed startup cost, not ingest throughput.
+    """
+    params = CoresetParams.practical(k=3, d=2, delta=delta)
+    stream, _, pilot = _workload(n=n, delta=delta, seed=seed)
+    orange = (pilot / 16, pilot / 4)
+    events = list(stream)
+    chunks = [events[lo: lo + batch] for lo in range(0, len(events), batch)]
+    rows = []
+    for w in workers:
+        serial = ShardedIngest(params, num_shards=w, seed=9,
+                               backend="exact", o_range=orange)
+        t0 = time.perf_counter()
+        for chunk in chunks:
+            serial.apply_batch(chunk)
+        serial_s = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        pool = WorkerPoolIngest(params, num_workers=w, seed=9,
+                                backend="exact", o_range=orange)
+        spawn_s = time.perf_counter() - t0
+        try:
+            t0 = time.perf_counter()
+            for chunk in chunks:
+                pool.apply_batch(chunk)
+            pool.worker_stats()  # drain barrier: all batches processed
+            pool_s = time.perf_counter() - t0
+            identical = (_canonical(pool.to_state_dict())
+                         == _canonical(serial.to_state_dict()))
+        finally:
+            pool.close()
+        rows.append({
+            "workers": w,
+            "events": len(events),
+            "serial_s": round(serial_s, 3),
+            "parallel_s": round(pool_s, 3),
+            "spawn_s": round(spawn_s, 3),
+            "serial_eps": int(len(events) / max(serial_s, 1e-9)),
+            "parallel_eps": int(len(events) / max(pool_s, 1e-9)),
+            "speedup": round(serial_s / max(pool_s, 1e-9), 2),
+            "bit_identical": identical,
+        })
+    return {
+        "bench": "service parallel vs serial ingest",
+        "cpu_count": os.cpu_count(),
+        "n_points": n,
+        "delta": delta,
+        "batch": batch,
+        "rows": rows,
+    }
 
 
 @pytest.mark.benchmark(group="service")
@@ -92,3 +175,76 @@ def test_service_query_cache_latency(benchmark):
     # The memoized path must be orders of magnitude below a fresh solve.
     assert warm_s < cold_s / 10
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+@pytest.mark.benchmark(group="service")
+def test_service_parallel_vs_serial_ingest(benchmark):
+    """Worker-process ingest vs the in-process baseline, same shard layout.
+
+    Correctness is unconditional: the two backends' checkpoints must be
+    byte-identical at every worker count.  The ≥2× throughput claim is
+    asserted only on machines with ≥4 cores — on fewer cores the worker
+    processes time-slice one CPU and the table just records the overhead.
+    """
+    report = run_parallel_curve(n=4000, delta=1024, workers=(2, 4),
+                                batch=1024)
+    print_table(
+        f"service: parallel vs serial ingest "
+        f"({report['cpu_count']} cores; batch={report['batch']})",
+        ["workers", "events", "serial s", "parallel s", "spawn s",
+         "serial ev/s", "parallel ev/s", "speedup", "bit-identical"],
+        [[r["workers"], r["events"], r["serial_s"], r["parallel_s"],
+          r["spawn_s"], r["serial_eps"], r["parallel_eps"], r["speedup"],
+          r["bit_identical"]] for r in report["rows"]],
+    )
+    assert all(r["bit_identical"] for r in report["rows"])
+    cores = os.cpu_count() or 1
+    if cores >= 4:
+        four = [r for r in report["rows"] if r["workers"] == 4]
+        assert four and four[0]["speedup"] >= 2.0
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def _smoke(argv=None) -> dict:
+    """Reduced curve for CI: 2 workers, small stream, JSON record."""
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="reduced sizes + write BENCH_service.json")
+    parser.add_argument("--workers", type=int, nargs="+", default=None)
+    parser.add_argument("--n", type=int, default=None)
+    parser.add_argument("--out", default=None,
+                        help="output JSON path (default: repo-root "
+                             "BENCH_service.json)")
+    args = parser.parse_args(argv)
+    if args.smoke:
+        n = args.n or 1500
+        workers = tuple(args.workers or (2,))
+        delta, batch = 256, 512
+    else:
+        n = args.n or 4000
+        workers = tuple(args.workers or (2, 4))
+        delta, batch = 1024, 1024
+    report = run_parallel_curve(n=n, delta=delta, workers=workers,
+                                batch=batch)
+    report["timestamp"] = time.strftime("%Y-%m-%dT%H:%M:%S%z")
+    out = Path(args.out) if args.out else (
+        Path(__file__).resolve().parents[1] / "BENCH_service.json")
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    print_table(
+        f"service: parallel vs serial ingest smoke "
+        f"({report['cpu_count']} cores) -> {out}",
+        ["workers", "events", "serial s", "parallel s", "spawn s",
+         "speedup", "bit-identical"],
+        [[r["workers"], r["events"], r["serial_s"], r["parallel_s"],
+          r["spawn_s"], r["speedup"], r["bit_identical"]]
+         for r in report["rows"]],
+    )
+    if not all(r["bit_identical"] for r in report["rows"]):
+        raise SystemExit("FAIL: parallel ingest state diverged from serial")
+    return report
+
+
+if __name__ == "__main__":
+    _smoke()

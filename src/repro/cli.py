@@ -98,6 +98,14 @@ def build_parser() -> argparse.ArgumentParser:
     srv.add_argument("--eps", type=float, default=0.25)
     srv.add_argument("--eta", type=float, default=0.25)
     srv.add_argument("--shards", type=int, default=4)
+    srv.add_argument("--workers", type=int, default=0,
+                     help="shard worker processes; 0 = run the --shards "
+                          "in-process (N > 0 supersedes --shards and gives "
+                          "one sketch shard per process — results are "
+                          "bit-identical either way)")
+    srv.add_argument("--max-request-mb", type=int, default=8,
+                     help="per-connection request-line cap in MiB; "
+                          "over-long frames get an error envelope")
     srv.add_argument("--backend", choices=["exact", "sketch"], default="exact")
     srv.add_argument("--capacity-slack", type=float, default=1.2)
     srv.add_argument("--seed", type=int, default=7)
@@ -255,10 +263,12 @@ def _cmd_serve(args) -> int:
 
     config = ServiceConfig(
         k=args.k, d=args.d, delta=args.delta, r=args.r, eps=args.eps,
-        eta=args.eta, num_shards=args.shards, seed=args.seed,
-        backend=args.backend, capacity_slack=args.capacity_slack,
+        eta=args.eta, num_shards=args.shards, workers=args.workers,
+        seed=args.seed, backend=args.backend,
+        capacity_slack=args.capacity_slack,
     )
-    serve_forever(config, args.host, args.port, restore_path=args.restore)
+    serve_forever(config, args.host, args.port, restore_path=args.restore,
+                  max_request_bytes=args.max_request_mb * 1024 * 1024)
     return 0
 
 

@@ -79,17 +79,32 @@ class PointCodec:
         self._fits64 = self.universe_bits <= 62
 
     def encode(self, points: np.ndarray) -> np.ndarray:
-        """Encode an (n, d) integer point array to n integer keys."""
+        """Encode an (n, d) integer point array to n integer keys.
+
+        Coordinates must lie in [0, Δ] — the codec is injective only
+        there; out-of-range digits would alias to a *different* valid
+        point's key, so they are rejected rather than encoded.
+        """
         pts = np.asarray(points)
         if pts.ndim == 1:
             pts = pts[None, :]
+        if pts.size and (pts.min() < 0 or pts.max() > self.delta):
+            raise ValueError(
+                f"cannot encode coordinates outside [0, {self.delta}]: got "
+                f"range [{pts.min()}, {pts.max()}]"
+            )
         return _encode_rows(pts, self.base, self._fits64)
 
     def encode_one(self, point) -> int:
         """Encode a single point (sequence of d ints) to its key."""
         acc = 0
         for c in point:
-            acc = acc * self.base + int(c)
+            c = int(c)
+            if not 0 <= c <= self.delta:
+                raise ValueError(
+                    f"cannot encode coordinate {c} outside [0, {self.delta}]"
+                )
+            acc = acc * self.base + c
         return acc
 
     def decode(self, key: int) -> np.ndarray:

@@ -22,6 +22,7 @@ from repro.service.state import (
     streaming_state_from_dict,
     streaming_state_to_dict,
 )
+from repro.service.workers import WorkerPoolIngest
 
 __all__ = [
     "ClusteringServer",
@@ -30,6 +31,7 @@ __all__ = [
     "ServiceClient",
     "ServiceConfig",
     "ShardedIngest",
+    "WorkerPoolIngest",
     "serve_forever",
     "sharded_state_from_dict",
     "sharded_state_to_dict",

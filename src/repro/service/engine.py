@@ -21,7 +21,7 @@ import numpy as np
 from repro.core.io import atomic_write_json, params_to_dict, read_json
 from repro.core.params import CoresetParams
 from repro.service.shards import ShardedIngest
-from repro.service.state import STATE_FORMAT_VERSION, sharded_state_from_dict, sharded_state_to_dict
+from repro.service.state import STATE_FORMAT_VERSION, sharded_state_from_dict
 from repro.solvers.capacitated_lloyd import CapacitatedKClustering
 from repro.utils.rng import derive_seed
 
@@ -39,6 +39,12 @@ class ServiceConfig:
     eps: float = 0.25
     eta: float = 0.25
     num_shards: int = 4
+    #: Worker processes for ingest: 0 = all shards in-process (one
+    #: ``StreamingCoreset`` per shard, fed sequentially); N > 0 = N shard
+    #: processes, one sketch each (supersedes ``num_shards``).  Results are
+    #: bit-identical either way — workers build their shards from the same
+    #: ``(params, seed)``, and the merge fan-in is exact.
+    workers: int = 0
     seed: int = 0
     backend: str = "exact"
     #: Uniform capacity as a multiple of total_weight/k at query time.
@@ -104,19 +110,38 @@ class ClusteringService:
     the config, so two services fed the same events answer identically.
     """
 
-    def __init__(self, config: ServiceConfig, ingest: ShardedIngest | None = None):
+    def __init__(self, config: ServiceConfig, ingest=None):
         self.config = config
         self.params = config.make_params()
         if ingest is None:
-            ingest = ShardedIngest(
-                self.params, num_shards=config.num_shards, seed=config.seed,
-                backend=config.backend, o_range=config.o_range,
-            )
+            if config.workers > 0:
+                from repro.service.workers import WorkerPoolIngest
+
+                ingest = WorkerPoolIngest(
+                    self.params, num_workers=config.workers, seed=config.seed,
+                    backend=config.backend, o_range=config.o_range,
+                )
+            else:
+                ingest = ShardedIngest(
+                    self.params, num_shards=config.num_shards, seed=config.seed,
+                    backend=config.backend, o_range=config.o_range,
+                )
         self.ingest = ingest
         self._lock = threading.RLock()
         self._cached: QueryResult | None = None
         self.queries = 0
         self.cache_hits = 0
+
+    def close(self) -> None:
+        """Release the ingest backend (stops worker processes, if any)."""
+        with self._lock:
+            self.ingest.close()
+
+    def __enter__(self) -> "ClusteringService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # -------------------------------------------------------------- ingest
     def insert(self, points) -> int:
@@ -175,12 +200,18 @@ class ClusteringService:
 
     # ----------------------------------------------------------- persistence
     def checkpoint(self, path) -> dict:
-        """Atomically persist config + full shard state + version to disk."""
+        """Atomically persist config + full shard state + version to disk.
+
+        With a worker pool this drains the workers first (their ``state``
+        requests queue behind all pending batches), then reuses the same
+        atomic snapshot path as the in-process backend — the two backends'
+        checkpoints are interchangeable.
+        """
         with self._lock:
             payload = {
                 "format_version": STATE_FORMAT_VERSION,
                 "config": self.config.to_dict(),
-                "ingest": sharded_state_to_dict(self.ingest),
+                "ingest": self.ingest.to_state_dict(),
             }
             atomic_write_json(path, payload)
             return {"path": str(path), "version": self.ingest.version,
@@ -201,8 +232,20 @@ class ClusteringService:
                 f"unsupported service checkpoint format {payload.get('format_version')!r}"
             )
         config = ServiceConfig.from_dict(payload["config"])
-        ingest = sharded_state_from_dict(payload["ingest"])
+        if config.workers > 0:
+            from repro.service.workers import WorkerPoolIngest
+
+            ingest = WorkerPoolIngest.from_state_dict(payload["ingest"])
+            if ingest.num_shards != config.workers:
+                ingest.close()
+                raise ValueError(
+                    f"checkpoint has {ingest.num_shards} shards but its "
+                    f"config asks for {config.workers} workers"
+                )
+        else:
+            ingest = sharded_state_from_dict(payload["ingest"])
         if ingest.params != config.make_params():
+            ingest.close()
             raise ValueError("checkpoint shard parameters do not match its config")
         return cls(config, ingest=ingest)
 
@@ -211,17 +254,28 @@ class ClusteringService:
         and hence the wire server holding it, alive)."""
         fresh = ClusteringService.restore(path)
         with self._lock:
+            stale = self.ingest
             self.config = fresh.config
             self.params = fresh.params
             self.ingest = fresh.ingest
             self._cached = None
+            stale.close()
 
     # ---------------------------------------------------------------- stats
     def stats(self) -> dict:
-        """Operational counters (also served over the wire)."""
+        """Operational counters (also served over the wire).
+
+        With a worker pool the dict additionally carries ``worker_stats``
+        (per-worker pid / event count / batch latency) and ``queue_depth``
+        (pending batches per worker); gathering those synchronizes with the
+        workers, so ``stats`` doubles as a drain barrier.
+        """
         with self._lock:
-            return {
+            extra = (self.ingest.stats_extra()
+                     if hasattr(self.ingest, "stats_extra") else None)
+            base = {
                 "version": self.ingest.version,
+                "mode": extra["mode"] if extra else "in-process",
                 "num_shards": self.ingest.num_shards,
                 "events": self.ingest.num_events,
                 "events_per_shard": list(self.ingest.events_per_shard),
@@ -232,7 +286,12 @@ class ClusteringService:
                 "cache_hits": self.cache_hits,
                 "cached_version": (self._cached.version
                                    if self._cached is not None else None),
-                "space_bits": self.ingest.space_bits(),
+                "space_bits": (extra["space_bits"] if extra
+                               else self.ingest.space_bits()),
                 "params": params_to_dict(self.params),
             }
+            if extra is not None:
+                base["queue_depth"] = extra["queue_depth"]
+                base["worker_stats"] = extra["workers"]
+            return base
 

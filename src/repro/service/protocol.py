@@ -13,6 +13,7 @@ from __future__ import annotations
 import json
 
 __all__ = [
+    "DEFAULT_MAX_REQUEST_BYTES",
     "MAX_LINE_BYTES",
     "OPS",
     "ProtocolError",
@@ -25,6 +26,13 @@ __all__ = [
 #: Backstop against unbounded request frames (ingest batches should be
 #: chunked client-side well below this).
 MAX_LINE_BYTES = 64 * 1024 * 1024
+
+#: Per-connection request-line cap enforced while *reading* — a client that
+#: never sends a newline must not grow server memory without bound.  The
+#: default comfortably holds the stock client's 4096-row batches; servers
+#: accepting bigger frames can raise it (``--max-request-mb``) up to the
+#: :data:`MAX_LINE_BYTES` backstop.
+DEFAULT_MAX_REQUEST_BYTES = 8 * 1024 * 1024
 
 #: The operations the service exposes.
 OPS = ("ping", "insert", "delete", "query", "checkpoint", "restore",

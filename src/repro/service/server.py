@@ -15,6 +15,8 @@ import numpy as np
 
 from repro.service.engine import ClusteringService, ServiceConfig
 from repro.service.protocol import (
+    DEFAULT_MAX_REQUEST_BYTES,
+    MAX_LINE_BYTES,
     ProtocolError,
     decode_line,
     encode_message,
@@ -26,14 +28,28 @@ from repro.utils.validation import FailedConstruction
 __all__ = ["ClusteringServer", "start_server", "serve_forever"]
 
 
-def _parse_points(req: dict, d: int) -> np.ndarray:
-    """Validate a request's ``points`` field into an (n, d) int array."""
+def _parse_points(req: dict, d: int, delta: int) -> np.ndarray:
+    """Validate a request's ``points`` field into an (n, d) int array.
+
+    Range-checks coordinates against the codec's injective window [0, Δ]:
+    an out-of-range coordinate would alias to a *different* valid point's
+    key under the mixed-radix encoding and silently corrupt the sketches,
+    so it is rejected at the wire boundary before any shard is touched.
+    """
     pts = req.get("points")
     if not isinstance(pts, list) or not pts:
         raise ProtocolError("'points' must be a non-empty list of rows")
-    arr = np.asarray(pts, dtype=np.int64)
+    try:
+        arr = np.asarray(pts, dtype=np.int64)
+    except (TypeError, ValueError, OverflowError) as exc:
+        raise ProtocolError(f"'points' rows must be integers: {exc}") from exc
     if arr.ndim != 2 or arr.shape[1] != d:
         raise ProtocolError(f"'points' must be (n, {d}), got shape {arr.shape}")
+    if arr.size and (arr.min() < 0 or arr.max() > delta):
+        raise ProtocolError(
+            f"point coordinates must lie in [0, {delta}], got range "
+            f"[{arr.min()}, {arr.max()}]"
+        )
     return arr
 
 
@@ -41,9 +57,23 @@ class _Handler(socketserver.StreamRequestHandler):
     """One connection: loop over request lines until EOF or shutdown."""
 
     def handle(self) -> None:  # pragma: no cover - exercised via sockets
+        limit = self.server.max_request_bytes
         while True:
-            line = self.rfile.readline()
+            # Bounded read: a client that never sends a newline must not be
+            # able to grow this buffer (and the server's memory) without
+            # limit.  readline(limit+1) returns at most limit+1 bytes even
+            # with no newline in sight.
+            line = self.rfile.readline(limit + 1)
             if not line:
+                return
+            if len(line) > limit:
+                # Over-long frame: answer with a protocol error, then close
+                # — with the line truncated mid-frame there is no way to
+                # resynchronize on the next request boundary.
+                self.wfile.write(encode_message(error_response(
+                    f"request line exceeds {limit} bytes; "
+                    "chunk ingest batches client-side")))
+                self.wfile.flush()
                 return
             if not line.strip():
                 continue
@@ -60,9 +90,15 @@ class ClusteringServer(socketserver.ThreadingTCPServer):
     allow_reuse_address = True
     daemon_threads = True
 
-    def __init__(self, address: tuple[str, int], service: ClusteringService):
+    def __init__(self, address: tuple[str, int], service: ClusteringService,
+                 max_request_bytes: int | None = None):
         super().__init__(address, _Handler)
         self.service = service
+        if max_request_bytes is None:
+            max_request_bytes = DEFAULT_MAX_REQUEST_BYTES
+        self.max_request_bytes = min(int(max_request_bytes), MAX_LINE_BYTES)
+        if self.max_request_bytes < 1024:
+            raise ValueError("max_request_bytes must be at least 1 KiB")
 
     # ------------------------------------------------------------- dispatch
     def dispatch(self, line: bytes) -> tuple[dict, bool]:
@@ -83,10 +119,12 @@ class ClusteringServer(socketserver.ThreadingTCPServer):
         if op == "ping":
             return ok_response(pong=True), False
         if op == "insert":
-            n = service.insert(_parse_points(req, service.params.d))
+            n = service.insert(
+                _parse_points(req, service.params.d, service.params.delta))
             return ok_response(applied=n, version=service.ingest.version), False
         if op == "delete":
-            n = service.delete(_parse_points(req, service.params.d))
+            n = service.delete(
+                _parse_points(req, service.params.d, service.params.delta))
             return ok_response(applied=n, version=service.ingest.version), False
         if op == "query":
             slack = req.get("capacity_slack")
@@ -114,21 +152,24 @@ class ClusteringServer(socketserver.ThreadingTCPServer):
 
 
 def start_server(service: ClusteringService, host: str = "127.0.0.1",
-                 port: int = 0) -> tuple[ClusteringServer, threading.Thread]:
+                 port: int = 0, max_request_bytes: int | None = None,
+                 ) -> tuple[ClusteringServer, threading.Thread]:
     """Bind and serve in a daemon thread; returns (server, thread).
 
     ``port=0`` picks a free port — read it back from
     ``server.server_address``.  Used by tests and by embedders that want the
     service in-process.
     """
-    server = ClusteringServer((host, port), service)
+    server = ClusteringServer((host, port), service,
+                              max_request_bytes=max_request_bytes)
     thread = threading.Thread(target=server.serve_forever, daemon=True)
     thread.start()
     return server, thread
 
 
 def serve_forever(config: ServiceConfig, host: str, port: int,
-                  restore_path=None) -> None:
+                  restore_path=None, max_request_bytes: int | None = None,
+                  ) -> None:
     """Blocking entry point used by ``repro serve``."""
     if restore_path:
         service = ClusteringService.restore(restore_path)
@@ -136,13 +177,20 @@ def serve_forever(config: ServiceConfig, host: str, port: int,
               f"(version {service.ingest.version}, {service.ingest.num_events} events)")
     else:
         service = ClusteringService(config)
-    with ClusteringServer((host, port), service) as server:
-        addr = server.server_address
-        print(f"repro service listening on {addr[0]}:{addr[1]} "
-              f"(k={service.params.k}, d={service.params.d}, "
-              f"delta={service.params.delta}, shards={service.ingest.num_shards}, "
-              f"backend={service.config.backend})")
-        try:
-            server.serve_forever()
-        except KeyboardInterrupt:  # pragma: no cover - interactive only
-            print("shutting down")
+    mode = (f"{service.config.workers} worker processes"
+            if service.config.workers > 0
+            else f"{service.ingest.num_shards} in-process shards")
+    try:
+        with ClusteringServer((host, port), service,
+                              max_request_bytes=max_request_bytes) as server:
+            addr = server.server_address
+            print(f"repro service listening on {addr[0]}:{addr[1]} "
+                  f"(k={service.params.k}, d={service.params.d}, "
+                  f"delta={service.params.delta}, {mode}, "
+                  f"backend={service.config.backend})")
+            try:
+                server.serve_forever()
+            except KeyboardInterrupt:  # pragma: no cover - interactive only
+                print("shutting down")
+    finally:
+        service.close()

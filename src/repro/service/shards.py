@@ -30,7 +30,7 @@ from repro.streaming.stream import StreamEvent
 from repro.streaming.streaming_coreset import StreamingCoreset
 from repro.utils.rng import derive_seed
 
-__all__ = ["ShardedIngest"]
+__all__ = ["ShardedIngest", "normalize_events"]
 
 #: Fibonacci-style multiplicative mixer: point keys are mixed-radix encodings
 #: whose low bits carry only the last coordinate, so reducing the raw key
@@ -44,6 +44,21 @@ def _mix(key: int) -> int:
     h = (int(key) * _MIX) & _MIX_MASK
     h ^= h >> 29
     return h
+
+
+def normalize_events(events) -> list[tuple[tuple, int]]:
+    """Normalize StreamEvents / (point, sign) pairs to (int tuple, int) pairs.
+
+    Both ingest backends funnel through this so points are hashable,
+    cheaply picklable (for worker queues), and uniform regardless of
+    whether the caller handed over tuples, lists, or ndarrays.
+    """
+    norm: list[tuple[tuple, int]] = []
+    for ev in events:
+        point, sign = ((ev.point, ev.sign) if isinstance(ev, StreamEvent)
+                       else (ev[0], ev[1]))
+        norm.append((tuple(int(c) for c in point), int(sign)))
+    return norm
 
 
 class ShardedIngest:
@@ -148,9 +163,10 @@ class ShardedIngest:
         """
         groups: dict[int, list] = {}
         count = 0
-        for ev in events:
-            point, sign = ((ev.point, ev.sign) if isinstance(ev, StreamEvent)
-                           else (tuple(int(c) for c in ev[0]), int(ev[1])))
+        # Grouping validates every point (shard_of encodes it) before any
+        # shard is touched, so a malformed event rejects the whole batch
+        # instead of leaving a partially applied, version-less state.
+        for point, sign in normalize_events(events):
             idx = self.shard_of(point)
             groups.setdefault(idx, []).append((point, sign))
             count += 1
@@ -202,3 +218,14 @@ class ShardedIngest:
     def space_bits(self) -> int:
         """Total charged sketch bits across all shards."""
         return sum(s.space_bits() for s in self.shards)
+
+    # ---------------------------------------------------------- persistence
+    def to_state_dict(self) -> dict:
+        """Checkpoint payload (same schema as the worker-pool backend)."""
+        from repro.service.state import sharded_state_to_dict
+
+        return sharded_state_to_dict(self)
+
+    def close(self) -> None:
+        """No-op: in-process shards hold no external resources.  Exists so
+        the engine can close any ingest backend uniformly."""

@@ -37,7 +37,7 @@ from repro.hashing.kwise import KWiseHash
 from repro.streaming.storing import ExactStoring, SketchStoring
 from repro.streaming.stream import StreamEvent
 from repro.utils.rng import derive_seed
-from repro.utils.validation import FailedConstruction
+from repro.utils.validation import FailedConstruction, check_stream_points
 
 __all__ = ["StreamingCoresetInstance", "StreamingCoreset", "assemble_coreset"]
 
@@ -376,9 +376,53 @@ class StreamingCoreset:
 
     # -- streaming ------------------------------------------------------------
     def update(self, point, sign: int) -> None:
-        """Process one insertion (+1) / deletion (−1)."""
-        row = np.asarray(point, dtype=np.int64)[None, :]
-        pkey = int(self.grids.point_keys(row)[0])
+        """Process one insertion (+1) / deletion (−1).
+
+        Coordinates are validated against the codec's injective window
+        [0, Δ] *before* any sketch is touched — an out-of-range coordinate
+        would otherwise alias to a different point's key and silently
+        corrupt the state.
+        """
+        row = check_stream_points(
+            np.asarray(point, dtype=np.int64)[None, :], self.params.delta)
+        pkey = int(self.grids.point_codec.encode(row)[0])
+        self._apply_keyed(pkey, self._entry_for(pkey, row), sign)
+
+    def update_batch(self, events) -> int:
+        """Apply a batch of :class:`StreamEvent` / ``(point, sign)`` pairs.
+
+        The batch entry point the worker processes use: points are
+        normalized and validated up front (the whole batch is rejected
+        before any state mutation if a single event is malformed), then
+        hash values for all distinct points are computed in vectorized
+        Horner sweeps — one per level/sub-stream instead of one per event.
+        Returns the number of events applied.
+        """
+        norm: list[tuple[tuple, int]] = []
+        for ev in events:
+            point, sign = ((ev.point, ev.sign) if isinstance(ev, StreamEvent)
+                           else (ev[0], ev[1]))
+            norm.append((tuple(int(c) for c in point), int(sign)))
+        if not norm:
+            return 0
+        rows = check_stream_points(
+            np.asarray([pt for pt, _ in norm], dtype=np.int64),
+            self.params.delta)
+        distinct = list(dict.fromkeys(pt for pt, _ in norm))
+        for lo in range(0, len(distinct), self.VALUE_CACHE_LIMIT // 2):
+            self._prefill_cache(distinct[lo: lo + self.VALUE_CACHE_LIMIT // 2])
+        pkeys = self.grids.point_codec.encode(rows)
+        for i, (_, sign) in enumerate(norm):
+            pkey = int(pkeys[i])
+            self._apply_keyed(pkey, self._entry_for(pkey, rows[i: i + 1]), sign)
+        return len(norm)
+
+    def process(self, stream) -> int:
+        """Consume an iterable of :class:`StreamEvent` (or (point, sign) pairs)."""
+        return self.update_batch(stream)
+
+    def _entry_for(self, pkey: int, row: np.ndarray):
+        """Cached (cell keys, hash values) tuple for one encoded point."""
         cached = self._value_cache.get(pkey)
         if cached is None:
             levels = range(self.params.L + 1)
@@ -391,35 +435,23 @@ class StreamingCoreset:
             if len(self._value_cache) >= self.VALUE_CACHE_LIMIT:
                 self._value_cache.pop(next(iter(self._value_cache)))
             self._value_cache[pkey] = cached
-        cell_keys, vh, vhp, vhh = cached
+        return cached
+
+    def _apply_keyed(self, pkey: int, entry, sign: int) -> None:
+        """Feed one keyed update into every instance plus the pilot sampler."""
+        cell_keys, vh, vhp, vhh = entry
         for inst in self.instances:
             inst.update_with_values(pkey, cell_keys, sign, vh, vhp, vhh)
         if self._pilot_sampler is not None:
             self._pilot_sampler.update(pkey, sign)
         self.num_updates += 1
 
-    def process(self, stream) -> None:
-        """Consume an iterable of :class:`StreamEvent` (or (point, sign) pairs).
-
-        Hash values for all distinct points are precomputed in vectorized
-        batches (one Horner sweep per level/sub-stream instead of one per
-        event), then events replay through the cache in order.
-        """
-        events = [(ev.point, ev.sign) if isinstance(ev, StreamEvent) else (tuple(ev[0]), ev[1])
-                  for ev in stream]
-        distinct = [p for p in dict.fromkeys(pt for pt, _ in events)
-                    if True]
-        for lo in range(0, len(distinct), self.VALUE_CACHE_LIMIT // 2):
-            self._prefill_cache(distinct[lo: lo + self.VALUE_CACHE_LIMIT // 2])
-        for point, sign in events:
-            self.update(point, sign)
-
     def _prefill_cache(self, points: list) -> None:
         """Batch-compute keys and hash values for a chunk of distinct points."""
         if not points:
             return
         rows = np.asarray(points, dtype=np.int64)
-        pkeys = [int(x) for x in self.grids.point_keys(rows)]
+        pkeys = [int(x) for x in self.grids.point_codec.encode(rows)]
         levels = range(self.params.L + 1)
         cell_keys = [self.grids.cell_keys(rows, i) for i in levels]
         vh = [self.shared.h[i].values(pkeys) for i in levels]

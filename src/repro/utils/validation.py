@@ -14,6 +14,7 @@ import numpy as np
 __all__ = [
     "FailedConstruction",
     "check_points",
+    "check_stream_points",
     "check_delta",
     "check_epsilon_eta",
     "check_k",
@@ -57,6 +58,32 @@ def check_points(points: np.ndarray, delta: int) -> np.ndarray:
     if q.size and (q.min() < 1 or q.max() > delta):
         raise ValueError(
             f"point coordinates must lie in [1, {delta}], got range "
+            f"[{q.min()}, {q.max()}]"
+        )
+    return q.astype(np.int64, copy=False)
+
+
+def check_stream_points(points: np.ndarray, delta: int) -> np.ndarray:
+    """Validate an (n, d) integer array of *encodable* stream points.
+
+    The mixed-radix point codec is injective exactly on coordinates in
+    [0, Δ] (base Δ+1).  Anything outside that window would silently alias
+    to a **different** valid point's key and corrupt every downstream
+    sketch, so the streaming/service ingest paths must reject it before
+    touching any state.  (The offline pipeline keeps the paper's stricter
+    [1, Δ] domain via :func:`check_points`.)
+    """
+    q = np.asarray(points)
+    if q.ndim != 2:
+        raise ValueError(f"points must be a 2-D array (n, d), got shape {q.shape}")
+    if not np.issubdtype(q.dtype, np.integer):
+        raise ValueError(
+            "points must be integers in [0, delta]; use repro.grid.discretize "
+            f"for real-valued data (got dtype {q.dtype})"
+        )
+    if q.size and (q.min() < 0 or q.max() > delta):
+        raise ValueError(
+            f"point coordinates must lie in [0, {delta}], got range "
             f"[{q.min()}, {q.max()}]"
         )
     return q.astype(np.int64, copy=False)

@@ -42,6 +42,31 @@ class TestPointCodec:
         pt = np.arange(1, d + 1)
         assert codec.encode_one(pt) == int(codec.encode(pt[None, :])[0])
 
+    def test_out_of_range_rejected_not_aliased(self):
+        """Regression: the mixed-radix encoding (base Δ+1) is injective only
+        on coordinates in [0, Δ].  ``(1, -1)`` used to encode to
+        ``1·65 + (-1) = 64`` — the *same key as the valid point (0, 64)* —
+        silently crediting sketch updates to the wrong point.  Both encode
+        paths must reject instead of aliasing."""
+        codec = PointCodec(64, 2)
+        assert codec.encode_one((0, 64)) == 64  # the victim key
+        with pytest.raises(ValueError, match="outside"):
+            codec.encode_one((1, -1))
+        with pytest.raises(ValueError, match="outside"):
+            codec.encode(np.array([[1, -1]]))
+        with pytest.raises(ValueError, match="outside"):
+            codec.encode_one((0, 65))  # > Δ aliases forward the same way
+        with pytest.raises(ValueError, match="outside"):
+            codec.encode(np.array([[3, 3], [0, 65]]))
+
+    def test_boundary_coordinates_encodable(self):
+        """0 and Δ are inside the injective window and must roundtrip."""
+        codec = PointCodec(64, 2)
+        pts = np.array([[0, 0], [0, 64], [64, 0], [64, 64]])
+        keys = codec.encode(pts)
+        assert len(set(map(int, keys))) == len(pts)
+        assert np.array_equal(codec.decode_many(list(keys)), pts)
+
 
 class TestHierarchicalGrids:
     def test_levels_and_sides(self):

@@ -324,6 +324,64 @@ class TestServiceEndToEnd:
             twin.shutdown()
             twin.server_close()
 
+    def test_out_of_range_insert_rejected_atomically(self, world):
+        """Regression: an insert with a coordinate outside [0, Δ] used to
+        alias to a different point's key mid-batch, corrupting the sketches
+        and leaving a partially-applied batch behind.  The server must now
+        answer a clean error envelope with *zero* events applied and keep
+        both the connection and the state healthy."""
+        from repro.service.client import ServiceError
+
+        server, _ = start_server(ClusteringService(
+            ServiceConfig(k=3, d=2, delta=64, num_shards=2, seed=1)))
+        host, port = server.server_address
+        try:
+            with ServiceClient(host, port) as cli:
+                for bad in ([[3, 3], [1, -1]],   # negative coordinate
+                            [[3, 3], [0, 65]],   # > Δ
+                            [[2**70, 1]]):       # json int too big for int64
+                    with pytest.raises(ServiceError, match="point"):
+                        cli.request("insert", points=bad)
+                    stats = cli.stats()
+                    assert stats["events"] == 0 and stats["version"] == 0
+                # The boundary coordinates 0 and Δ are legal.
+                assert cli.insert(np.array([[0, 0], [64, 64]])) == 2
+                assert cli.stats()["events"] == 2
+        finally:
+            server.shutdown()
+            server.server_close()
+
+    def test_oversized_request_line_rejected(self, world):
+        """Regression: the handler read request lines with an unbounded
+        ``readline()``, so one newline-free client could balloon server
+        memory.  Over-long frames now get an error envelope and a close."""
+        import socket
+
+        server, _ = start_server(
+            ClusteringService(ServiceConfig(k=3, d=2, delta=64, num_shards=2,
+                                            seed=1)),
+            max_request_bytes=2048)
+        host, port = server.server_address
+        try:
+            with socket.create_connection((host, port), timeout=10) as sock:
+                fh = sock.makefile("rwb")
+                fh.write(b'{"op": "insert", "points": [' + b"9" * 4096)
+                fh.flush()
+                resp = json.loads(fh.readline())
+                assert resp["ok"] is False
+                assert "exceeds 2048 bytes" in resp["error"]
+                # Mid-frame resync is impossible: the server closes.
+                assert fh.readline() == b""
+            # The server itself survives and serves new connections.
+            with socket.create_connection((host, port), timeout=10) as sock:
+                fh = sock.makefile("rwb")
+                fh.write(b'{"op": "ping"}\n')
+                fh.flush()
+                assert json.loads(fh.readline())["ok"] is True
+        finally:
+            server.shutdown()
+            server.server_close()
+
     def test_malformed_requests_get_error_responses(self, world):
         server, _ = start_server(ClusteringService(
             ServiceConfig(k=3, d=2, delta=64, num_shards=2, seed=1)))

@@ -173,6 +173,70 @@ class TestSketchBackend:
         assert sc.space_bits() > 0
 
 
+class TestUpdateBatchAndValidation:
+    def test_process_accepts_ndarray_event_points(self, setup):
+        """Regression: ``process()`` crashed with ``TypeError: unhashable
+        type`` when a StreamEvent carried an ndarray point (the value-cache
+        key was the raw point).  Array and tuple events must now be
+        bit-identical."""
+        from repro.streaming.stream import INSERT, Stream, StreamEvent
+
+        pts, params, pilot = setup
+        sub = pts[:80]
+        orange = (pilot / 64, pilot / 4)
+        arr = StreamingCoreset(params, seed=7, backend="exact", o_range=orange)
+        arr.process(Stream([StreamEvent(np.asarray(p), INSERT) for p in sub]))
+        tup = StreamingCoreset(params, seed=7, backend="exact", o_range=orange)
+        tup.process(Stream([StreamEvent(tuple(map(int, p)), INSERT)
+                            for p in sub]))
+        from repro.service.state import streaming_state_to_dict
+
+        assert streaming_state_to_dict(arr) == streaming_state_to_dict(tup)
+
+    def test_update_batch_equals_event_loop(self, setup):
+        """The vectorized batched path is bit-identical to one update() per
+        event (same cache entries, same sampler feed order)."""
+        pts, params, pilot = setup
+        sub = pts[:60]
+        orange = (pilot / 64, pilot / 4)
+        batched = StreamingCoreset(params, seed=19, backend="exact",
+                                   o_range=orange)
+        assert batched.update_batch(
+            [(tuple(map(int, p)), 1) for p in sub]) == len(sub)
+        looped = StreamingCoreset(params, seed=19, backend="exact",
+                                  o_range=orange)
+        for p in sub:
+            looped.update(tuple(map(int, p)), 1)
+        from repro.service.state import streaming_state_to_dict
+
+        assert streaming_state_to_dict(batched) == streaming_state_to_dict(looped)
+
+    def test_out_of_range_update_rejected_before_state_change(self, setup):
+        """Regression: out-of-range coordinates alias under the mixed-radix
+        codec; both update paths must reject them atomically — a failed
+        batch leaves *zero* events applied, not a prefix."""
+        _, params, _ = setup
+        sc = StreamingCoreset(params, seed=3, backend="exact")
+        for bad in ((1, -1), (1, 257), (-5, 0)):
+            with pytest.raises(ValueError, match=r"\[0, 256\]"):
+                sc.update(bad, +1)
+        with pytest.raises(ValueError, match=r"\[0, 256\]"):
+            sc.update_batch([((3, 3), 1), ((5, 5), 1), ((1, -1), 1)])
+        assert sc.num_updates == 0
+        # Still healthy: the same batch minus the bad event applies cleanly.
+        assert sc.update_batch([((3, 3), 1), ((5, 5), 1)]) == 2
+        assert sc.num_updates == 2
+
+    def test_coordinate_zero_accepted(self, setup):
+        """0 is inside the codec's injective window [0, Δ] and must not be
+        rejected by streaming ingest (the offline [1, Δ] check is stricter)."""
+        _, params, _ = setup
+        sc = StreamingCoreset(params, seed=3, backend="exact")
+        sc.update((0, 0), +1)
+        sc.update_batch([((0, 256), 1), ((256, 0), 1)])
+        assert sc.num_updates == 3
+
+
 class TestFailurePaths:
     def test_all_guesses_fail_raises(self, setup):
         pts, params, _ = setup
