@@ -2,7 +2,8 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-verbose bench bench-smoke examples artifacts lint clean
+.PHONY: install test test-verbose bench bench-smoke bench-tenants \
+	bench-tenants-smoke examples artifacts lint clean
 
 install:
 	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -16,10 +17,26 @@ test-verbose:
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
 
-# Quick serial-vs-parallel ingest check (2 workers); writes BENCH_service.json
-# and fails if the parallel backend's state diverges from the serial one.
+# Quick serial-vs-parallel ingest check (2 workers) plus latency
+# percentiles; appends to BENCH_service.json and fails if the parallel
+# backend's state diverges from the serial one.
 bench-smoke:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_service_throughput.py --smoke
+
+# Multi-tenant throughput + isolation under eviction churn.  Skipped on
+# 1-core runners: the concurrent drivers just time-slice one CPU there and
+# the throughput numbers mean nothing.
+bench-tenants:
+	@if [ "$$(nproc 2>/dev/null || echo 1)" -lt 2 ]; then \
+		echo "bench-tenants: skipped (needs >= 2 cores, have $$(nproc 2>/dev/null || echo 1))"; \
+	else \
+		PYTHONPATH=src $(PYTHON) benchmarks/bench_service_tenants.py; \
+	fi
+
+# CI async-service smoke: boot `python -m repro serve` in a subprocess,
+# drive 3 tenants concurrently, assert isolation, shut down over the wire.
+bench-tenants-smoke:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_service_tenants.py --smoke
 
 examples:
 	for f in examples/*.py; do echo "== $$f"; $(PYTHON) $$f || exit 1; done

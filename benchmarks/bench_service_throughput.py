@@ -12,8 +12,10 @@ must stay a real file, never piped through stdin)::
 
     PYTHONPATH=src python benchmarks/bench_service_throughput.py --smoke
 
-which runs a reduced serial-vs-parallel curve and records it in
-``BENCH_service.json`` at the repo root (``make bench-smoke``).
+which runs a reduced serial-vs-parallel curve plus an ingest/query latency
+percentile pass (p50/p95/p99) and **appends** both records to
+``BENCH_service.json`` at the repo root (``make bench-smoke``) — runs
+accumulate as a history rather than overwriting each other.
 """
 
 from __future__ import annotations
@@ -21,11 +23,11 @@ from __future__ import annotations
 import json
 import os
 import time
-from pathlib import Path
 
+import numpy as np
 import pytest
 
-from common import make_mixture, print_table
+from common import append_bench_record, make_mixture, print_table
 from repro.core import CoresetParams
 from repro.data.workloads import churn_stream
 from repro.service import (
@@ -109,6 +111,80 @@ def run_parallel_curve(n: int = 4000, delta: int = 1024,
         "batch": batch,
         "rows": rows,
     }
+
+
+def _percentiles(samples_s: list[float]) -> dict:
+    """p50/p95/p99 of a latency sample, in milliseconds."""
+    ms = np.asarray(samples_s) * 1e3
+    return {p: round(float(np.percentile(ms, q)), 3)
+            for p, q in (("p50", 50), ("p95", 95), ("p99", 99))}
+
+
+def run_latency_percentiles(n: int = 3000, delta: int = 256,
+                            batch: int = 256, queries: int = 12,
+                            seed: int = 3) -> dict:
+    """Tail-latency profile of one service: per-batch ingest, cold query
+    (merge + assemble + solve after an invalidating ingest) and cached
+    query (version-keyed memo hit).  Tails, not means — the p99 is what a
+    caller sharing the server actually waits."""
+    stream, _, pilot = _workload(n=n, delta=delta, seed=seed)
+    events = list(stream)
+    config = ServiceConfig(k=3, d=2, delta=delta, num_shards=2, seed=9,
+                           o_range=(pilot / 16, pilot / 4))
+    svc = ClusteringService(config)
+    try:
+        ingest_s = []
+        for lo in range(0, len(events), batch):
+            t0 = time.perf_counter()
+            svc.apply_events(events[lo: lo + batch])
+            ingest_s.append(time.perf_counter() - t0)
+        cold_s, cached_s = [], []
+        probe = np.asarray([[1, 1]])
+        for _ in range(queries):
+            svc.insert(probe)  # bump the version: next query is a miss
+            t0 = time.perf_counter()
+            _, hit = svc.query()
+            cold_s.append(time.perf_counter() - t0)
+            assert not hit
+            t0 = time.perf_counter()
+            _, hit = svc.query()
+            cached_s.append(time.perf_counter() - t0)
+            assert hit
+        return {
+            "bench": "service latency percentiles",
+            "n_points": n,
+            "delta": delta,
+            "batch": batch,
+            "events": len(events) + queries,
+            "queries": queries,
+            "ingest_batch_ms": _percentiles(ingest_s),
+            "query_cold_ms": _percentiles(cold_s),
+            "query_cached_ms": _percentiles(cached_s),
+        }
+    finally:
+        svc.close()
+
+
+def _latency_rows(report: dict) -> list[list]:
+    return [[name, report[key]["p50"], report[key]["p95"], report[key]["p99"]]
+            for name, key in (("ingest batch", "ingest_batch_ms"),
+                              ("query cold", "query_cold_ms"),
+                              ("query cached", "query_cached_ms"))]
+
+
+@pytest.mark.benchmark(group="service")
+def test_service_latency_percentiles(benchmark):
+    """Ingest/query tail latency; the cached-query tail must stay far below
+    the cold-solve median."""
+    report = run_latency_percentiles(n=2000, queries=8)
+    print_table(
+        f"service: latency percentiles (ms; batch={report['batch']}, "
+        f"{report['events']} events)",
+        ["path", "p50", "p95", "p99"],
+        _latency_rows(report),
+    )
+    assert report["query_cached_ms"]["p99"] < report["query_cold_ms"]["p50"]
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
 
 
 @pytest.mark.benchmark(group="service")
@@ -206,32 +282,35 @@ def test_service_parallel_vs_serial_ingest(benchmark):
 
 
 def _smoke(argv=None) -> dict:
-    """Reduced curve for CI: 2 workers, small stream, JSON record."""
+    """Reduced curve for CI: 2 workers, small stream, appended JSON record."""
     import argparse
 
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--smoke", action="store_true",
-                        help="reduced sizes + write BENCH_service.json")
+                        help="reduced sizes + append to BENCH_service.json")
     parser.add_argument("--workers", type=int, nargs="+", default=None)
     parser.add_argument("--n", type=int, default=None)
     parser.add_argument("--out", default=None,
                         help="output JSON path (default: repo-root "
-                             "BENCH_service.json)")
+                             "BENCH_service.json; runs append)")
     args = parser.parse_args(argv)
     if args.smoke:
         n = args.n or 1500
         workers = tuple(args.workers or (2,))
-        delta, batch = 256, 512
+        delta, batch, queries = 256, 512, 6
     else:
         n = args.n or 4000
         workers = tuple(args.workers or (2, 4))
-        delta, batch = 1024, 1024
+        delta, batch, queries = 1024, 1024, 12
+    stamp = time.strftime("%Y-%m-%dT%H:%M:%S%z")
     report = run_parallel_curve(n=n, delta=delta, workers=workers,
                                 batch=batch)
-    report["timestamp"] = time.strftime("%Y-%m-%dT%H:%M:%S%z")
-    out = Path(args.out) if args.out else (
-        Path(__file__).resolve().parents[1] / "BENCH_service.json")
-    out.write_text(json.dumps(report, indent=2) + "\n")
+    report["timestamp"] = stamp
+    latency = run_latency_percentiles(n=n, delta=delta,
+                                      batch=batch, queries=queries)
+    latency["timestamp"] = stamp
+    out = append_bench_record(report, out=args.out)
+    append_bench_record(latency, out=args.out)
     print_table(
         f"service: parallel vs serial ingest smoke "
         f"({report['cpu_count']} cores) -> {out}",
@@ -240,6 +319,11 @@ def _smoke(argv=None) -> dict:
         [[r["workers"], r["events"], r["serial_s"], r["parallel_s"],
           r["spawn_s"], r["speedup"], r["bit_identical"]]
          for r in report["rows"]],
+    )
+    print_table(
+        f"service: latency percentiles (ms; batch={latency['batch']})",
+        ["path", "p50", "p95", "p99"],
+        _latency_rows(latency),
     )
     if not all(r["bit_identical"] for r in report["rows"]):
         raise SystemExit("FAIL: parallel ingest state diverged from serial")

@@ -8,6 +8,9 @@ records claim-vs-measured.
 
 from __future__ import annotations
 
+import json
+from pathlib import Path
+
 import numpy as np
 
 from repro.core import CoresetParams, build_coreset_auto
@@ -16,12 +19,38 @@ from repro.solvers.kmeanspp import kmeans_plusplus
 
 __all__ = [
     "print_table",
+    "append_bench_record",
     "make_mixture",
     "make_unbalanced",
     "standard_params",
     "build_standard_coreset",
     "center_battery",
 ]
+
+
+def append_bench_record(record: dict, out=None) -> Path:
+    """Append one run record to ``BENCH_service.json`` (repo root).
+
+    The file holds ``{"format": 2, "runs": [...]}`` so successive bench
+    invocations accumulate a history instead of clobbering each other; a
+    pre-format-2 file (one bare run dict) is absorbed as the first run.
+    """
+    out = (Path(out) if out is not None
+           else Path(__file__).resolve().parents[1] / "BENCH_service.json")
+    doc = {"format": 2, "runs": []}
+    if out.exists():
+        try:
+            existing = json.loads(out.read_text())
+        except json.JSONDecodeError:
+            existing = None
+        if isinstance(existing, dict) and existing.get("format") == 2 \
+                and isinstance(existing.get("runs"), list):
+            doc = existing
+        elif isinstance(existing, dict):
+            doc["runs"].append(existing)
+    doc["runs"].append(record)
+    out.write_text(json.dumps(doc, indent=2) + "\n")
+    return out
 
 
 def print_table(title: str, header: list, rows: list) -> None:

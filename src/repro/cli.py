@@ -10,8 +10,10 @@ Subcommands
 ``solve``      balanced k-clustering on a saved coreset (optionally extend
                the assignment to the original points)
 ``info``       print a saved coreset's provenance
-``serve``      run the long-lived sharded clustering service (JSON-lines TCP)
-``client``     talk to a running service (insert/delete/query/checkpoint/...)
+``serve``      run the long-lived clustering service (JSON-lines TCP; async
+               multi-tenant by default, threaded single-tenant via --sync)
+``client``     talk to a running service (insert/delete/query/checkpoint/
+               tenants/...; --stream addresses a named tenant)
 
 Every command is seeded and prints exactly what it did; these are the same
 code paths the library exposes, so the CLI doubles as an end-to-end smoke
@@ -88,7 +90,8 @@ def build_parser() -> argparse.ArgumentParser:
     i = sub.add_parser("info", help="print a saved coreset's provenance")
     i.add_argument("coreset")
 
-    srv = sub.add_parser("serve", help="run the sharded streaming service")
+    srv = sub.add_parser("serve", help="run the streaming clustering service "
+                                       "(async multi-tenant by default)")
     srv.add_argument("--host", default="127.0.0.1")
     srv.add_argument("--port", type=int, default=7071)
     srv.add_argument("--k", type=int, default=4)
@@ -99,10 +102,10 @@ def build_parser() -> argparse.ArgumentParser:
     srv.add_argument("--eta", type=float, default=0.25)
     srv.add_argument("--shards", type=int, default=4)
     srv.add_argument("--workers", type=int, default=0,
-                     help="shard worker processes; 0 = run the --shards "
-                          "in-process (N > 0 supersedes --shards and gives "
-                          "one sketch shard per process — results are "
-                          "bit-identical either way)")
+                     help="shard worker processes per tenant; 0 = run the "
+                          "--shards in-process (N > 0 supersedes --shards "
+                          "and gives one sketch shard per process — results "
+                          "are bit-identical either way)")
     srv.add_argument("--max-request-mb", type=int, default=8,
                      help="per-connection request-line cap in MiB; "
                           "over-long frames get an error envelope")
@@ -111,13 +114,35 @@ def build_parser() -> argparse.ArgumentParser:
     srv.add_argument("--seed", type=int, default=7)
     srv.add_argument("--restore", default=None, metavar="CKPT",
                      help="start from a checkpoint instead of empty state "
-                          "(its config overrides the flags above)")
+                          "(async mode: restores the 'default' tenant)")
+    srv.add_argument("--sync", action="store_true",
+                     help="run the threaded single-tenant server instead of "
+                          "the async multi-tenant one (for environments "
+                          "without an event loop)")
+    srv.add_argument("--tenants-dir", default=None, metavar="DIR",
+                     help="directory for cold-tenant eviction checkpoints; "
+                          "enables LRU eviction and shutdown persistence "
+                          "(async mode only)")
+    srv.add_argument("--max-live-tenants", type=int, default=None,
+                     metavar="N",
+                     help="keep at most N tenant sketches in memory, "
+                          "evicting the least-recently-used to --tenants-dir "
+                          "(default: unbounded)")
+    srv.add_argument("--max-events-per-tenant", type=int, default=None,
+                     metavar="N", help="per-tenant ingest quota in events")
+    srv.add_argument("--max-mb-per-tenant", type=float, default=None,
+                     metavar="MB", help="per-tenant ingest quota in MiB of "
+                                        "nominal encoded volume")
 
     c = sub.add_parser("client", help="send one request to a running service")
     c.add_argument("op", choices=["ping", "insert", "delete", "query",
-                                  "checkpoint", "restore", "stats", "shutdown"])
+                                  "checkpoint", "restore", "stats", "tenants",
+                                  "shutdown"])
     c.add_argument("--host", default="127.0.0.1")
     c.add_argument("--port", type=int, default=7071)
+    c.add_argument("--stream", default=None, metavar="ID",
+                   help="stream_id of the tenant to address (default: the "
+                        "server's 'default' tenant)")
     c.add_argument("--points", default=None,
                    help=".npy of int rows for insert/delete")
     c.add_argument("--path", default=None,
@@ -259,7 +284,6 @@ def _cmd_info(args) -> int:
 
 def _cmd_serve(args) -> int:
     from repro.service import ServiceConfig
-    from repro.service.server import serve_forever
 
     config = ServiceConfig(
         k=args.k, d=args.d, delta=args.delta, r=args.r, eps=args.eps,
@@ -267,8 +291,35 @@ def _cmd_serve(args) -> int:
         seed=args.seed, backend=args.backend,
         capacity_slack=args.capacity_slack,
     )
-    serve_forever(config, args.host, args.port, restore_path=args.restore,
-                  max_request_bytes=args.max_request_mb * 1024 * 1024)
+    max_bytes = args.max_request_mb * 1024 * 1024
+    if args.sync:
+        from repro.service.server import serve_forever
+
+        for flag, name in ((args.tenants_dir, "--tenants-dir"),
+                           (args.max_live_tenants, "--max-live-tenants"),
+                           (args.max_events_per_tenant, "--max-events-per-tenant"),
+                           (args.max_mb_per_tenant, "--max-mb-per-tenant")):
+            if flag is not None:
+                print(f"{name} requires the async server; drop --sync",
+                      file=sys.stderr)
+                return 2
+        serve_forever(config, args.host, args.port, restore_path=args.restore,
+                      max_request_bytes=max_bytes)
+        return 0
+    from repro.service import TenantQuota
+    from repro.service.aserver import serve_forever_async
+
+    quota = None
+    if args.max_events_per_tenant is not None or args.max_mb_per_tenant is not None:
+        quota = TenantQuota(
+            max_events=args.max_events_per_tenant,
+            max_bytes=(int(args.max_mb_per_tenant * 1024 * 1024)
+                       if args.max_mb_per_tenant is not None else None))
+    serve_forever_async(config, args.host, args.port,
+                        tenants_dir=args.tenants_dir,
+                        max_live_tenants=args.max_live_tenants,
+                        quota=quota, restore_path=args.restore,
+                        max_request_bytes=max_bytes)
     return 0
 
 
@@ -277,7 +328,7 @@ def _cmd_client(args) -> int:
 
     from repro.service import ServiceClient
 
-    with ServiceClient(args.host, args.port) as cli:
+    with ServiceClient(args.host, args.port, stream_id=args.stream) as cli:
         if args.op in ("insert", "delete"):
             if not args.points:
                 print(f"{args.op} needs --points FILE.npy", file=sys.stderr)
@@ -305,6 +356,14 @@ def _cmd_client(args) -> int:
             return 0
         if args.op == "stats":
             print(json.dumps(cli.stats(), indent=2))
+            return 0
+        if args.op == "tenants":
+            rows = [[t["stream_id"], "yes" if t.get("live") else "no",
+                     t.get("events", "?"), t.get("version", "?"),
+                     t.get("bytes_ingested", "?")]
+                    for t in cli.tenants()]
+            print(render_table("streams", ["stream_id", "live", "events",
+                                           "version", "bytes"], rows))
             return 0
         if args.op == "ping":
             print("pong" if cli.ping() else "no pong")

@@ -4,16 +4,26 @@ The paper's sketches are *linear*, which is exactly what a production
 service needs: state can be sharded across independent workers
 (:mod:`repro.service.shards`), persisted and restored bit-identically
 (:mod:`repro.service.state`), merged on demand and queried with result
-memoization (:mod:`repro.service.engine`), and exposed over a wire protocol
-(:mod:`repro.service.server` / :mod:`repro.service.client`).
+memoization (:mod:`repro.service.engine`), multiplexed across any number
+of named streams with cold-tenant eviction (:mod:`repro.service.tenants` /
+:mod:`repro.service.eviction`), and exposed over a wire protocol
+(:mod:`repro.service.aserver` / :mod:`repro.service.server` /
+:mod:`repro.service.client`).
 
 Layering: ``state`` (codec) → ``shards`` (ingest) → ``engine`` (queries)
-→ ``protocol``/``server``/``client`` (wire).  Everything below the wire
-layer is importable and testable without opening a socket.
+→ ``tenants`` (multi-stream registry) → ``protocol``/``aserver``/
+``server``/``client`` (wire).  Everything below the wire layer is
+importable and testable without opening a socket.
 """
 
+from repro.service.aserver import (
+    AsyncClusteringServer,
+    serve_forever_async,
+    start_async_server,
+)
 from repro.service.client import ServiceClient
 from repro.service.engine import ClusteringService, QueryResult, ServiceConfig
+from repro.service.eviction import EvictionPolicy, LRUEvictionPolicy
 from repro.service.server import ClusteringServer, serve_forever, start_server
 from repro.service.shards import ShardedIngest
 from repro.service.state import (
@@ -22,19 +32,28 @@ from repro.service.state import (
     streaming_state_from_dict,
     streaming_state_to_dict,
 )
+from repro.service.tenants import QuotaExceeded, TenantQuota, TenantRegistry
 from repro.service.workers import WorkerPoolIngest
 
 __all__ = [
+    "AsyncClusteringServer",
     "ClusteringServer",
     "ClusteringService",
+    "EvictionPolicy",
+    "LRUEvictionPolicy",
     "QueryResult",
+    "QuotaExceeded",
     "ServiceClient",
     "ServiceConfig",
     "ShardedIngest",
+    "TenantQuota",
+    "TenantRegistry",
     "WorkerPoolIngest",
     "serve_forever",
+    "serve_forever_async",
     "sharded_state_from_dict",
     "sharded_state_to_dict",
+    "start_async_server",
     "start_server",
     "streaming_state_from_dict",
     "streaming_state_to_dict",

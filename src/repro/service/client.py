@@ -23,23 +23,33 @@ class ServiceError(RuntimeError):
 
 
 class ServiceClient:
-    """Client for one :class:`~repro.service.server.ClusteringServer`.
+    """Client for one clustering server (async multi-tenant or ``--sync``).
 
     Usable as a context manager::
 
         with ServiceClient("127.0.0.1", 7071) as cli:
             cli.insert(points)
             answer = cli.query()
+
+    ``stream_id`` names the tenant every request addresses (multi-tenant
+    servers only); ``None`` leaves the field off the wire, which servers
+    treat as the ``"default"`` tenant — so a client without a stream id
+    speaks the exact pre-tenant protocol.  The attribute is plain state:
+    reassign ``cli.stream_id`` to switch tenants over one connection, or
+    pass an explicit ``stream_id=...`` to :meth:`request` per call.
     """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 7071,
-                 timeout: float | None = 60.0):
+                 timeout: float | None = 60.0, stream_id: str | None = None):
+        self.stream_id = stream_id
         self._sock = socket.create_connection((host, port), timeout=timeout)
         self._file = self._sock.makefile("rwb")
 
     # ------------------------------------------------------------ plumbing
     def request(self, op: str, **fields) -> dict:
         """Send one op and return its payload; raises on error responses."""
+        if self.stream_id is not None:
+            fields.setdefault("stream_id", self.stream_id)
         self._file.write(encode_message({"op": op, **fields}))
         self._file.flush()
         line = self._file.readline()
@@ -100,6 +110,10 @@ class ServiceClient:
     def stats(self) -> dict:
         """Operational counters (version, events, cache hits, space)."""
         return self.request("stats")["stats"]
+
+    def tenants(self) -> list[dict]:
+        """Summaries of every known stream (live and evicted-to-disk)."""
+        return self.request("tenants")["tenants"]
 
     def shutdown(self) -> None:
         """Stop the server (the connection closes afterwards)."""

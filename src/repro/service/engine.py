@@ -131,6 +131,10 @@ class ClusteringService:
         self._cached: QueryResult | None = None
         self.queries = 0
         self.cache_hits = 0
+        #: Nominal ingested volume (8 bytes per coordinate per event) —
+        #: the figure tenant byte-quotas are enforced against.  Persisted
+        #: in checkpoints so eviction/restore cannot reset a quota.
+        self.bytes_ingested = 0
 
     def close(self) -> None:
         """Release the ingest backend (stops worker processes, if any)."""
@@ -147,17 +151,23 @@ class ClusteringService:
     def insert(self, points) -> int:
         """Insert rows of an (n, d) int array; returns events applied."""
         with self._lock:
-            return self.ingest.insert_points(points)
+            n = self.ingest.insert_points(points)
+            self.bytes_ingested += n * 8 * self.params.d
+            return n
 
     def delete(self, points) -> int:
         """Delete rows of an (n, d) int array; returns events applied."""
         with self._lock:
-            return self.ingest.delete_points(points)
+            n = self.ingest.delete_points(points)
+            self.bytes_ingested += n * 8 * self.params.d
+            return n
 
     def apply_events(self, events) -> int:
         """Apply a mixed batch of (point, ±1) events."""
         with self._lock:
-            return self.ingest.apply_batch(events)
+            n = self.ingest.apply_batch(events)
+            self.bytes_ingested += n * 8 * self.params.d
+            return n
 
     # -------------------------------------------------------------- queries
     def query(self, capacity_slack: float | None = None) -> tuple[QueryResult, bool]:
@@ -199,20 +209,29 @@ class ClusteringService:
         return result, False
 
     # ----------------------------------------------------------- persistence
-    def checkpoint(self, path) -> dict:
+    def checkpoint(self, path, extra: dict | None = None) -> dict:
         """Atomically persist config + full shard state + version to disk.
 
         With a worker pool this drains the workers first (their ``state``
         requests queue behind all pending batches), then reuses the same
         atomic snapshot path as the in-process backend — the two backends'
-        checkpoints are interchangeable.
+        checkpoints are interchangeable.  ``extra`` keys are merged into the
+        envelope (the tenant registry stamps its stream id this way); they
+        must not collide with the envelope's own fields.
         """
         with self._lock:
             payload = {
                 "format_version": STATE_FORMAT_VERSION,
                 "config": self.config.to_dict(),
+                "counters": {"bytes_ingested": self.bytes_ingested},
                 "ingest": self.ingest.to_state_dict(),
             }
+            if extra:
+                overlap = payload.keys() & extra.keys()
+                if overlap:
+                    raise ValueError(
+                        f"checkpoint extra keys collide with envelope: {sorted(overlap)}")
+                payload.update(extra)
             atomic_write_json(path, payload)
             return {"path": str(path), "version": self.ingest.version,
                     "events": self.ingest.num_events}
@@ -226,7 +245,16 @@ class ClusteringService:
         so its next ``query`` answers exactly as the checkpointed process
         would have.
         """
-        payload = read_json(path)
+        return cls.from_payload(read_json(path))
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "ClusteringService":
+        """Rebuild a service from an already-parsed checkpoint envelope.
+
+        Split out of :meth:`restore` so callers that need the envelope's
+        other fields (the tenant registry reads its stamped ``tenant``
+        block) can parse the JSON once.
+        """
         if payload.get("format_version") != STATE_FORMAT_VERSION:
             raise ValueError(
                 f"unsupported service checkpoint format {payload.get('format_version')!r}"
@@ -247,7 +275,10 @@ class ClusteringService:
         if ingest.params != config.make_params():
             ingest.close()
             raise ValueError("checkpoint shard parameters do not match its config")
-        return cls(config, ingest=ingest)
+        service = cls(config, ingest=ingest)
+        service.bytes_ingested = int(
+            payload.get("counters", {}).get("bytes_ingested", 0))
+        return service
 
     def restore_in_place(self, path) -> None:
         """Replace this service's state with a checkpoint (keeps the object,
@@ -258,6 +289,7 @@ class ClusteringService:
             self.config = fresh.config
             self.params = fresh.params
             self.ingest = fresh.ingest
+            self.bytes_ingested = fresh.bytes_ingested
             self._cached = None
             stale.close()
 
@@ -282,6 +314,7 @@ class ClusteringService:
                 "insertions": self.ingest.num_insertions,
                 "deletions": self.ingest.num_deletions,
                 "live_points": self.ingest.num_insertions - self.ingest.num_deletions,
+                "bytes_ingested": self.bytes_ingested,
                 "queries": self.queries,
                 "cache_hits": self.cache_hits,
                 "cached_version": (self._cached.version

@@ -1,4 +1,4 @@
-"""JSON-lines wire protocol shared by the server and the client.
+"""JSON-lines wire protocol shared by the servers and the client.
 
 One request per line, one response per line, UTF-8 JSON — trivially
 debuggable with ``nc`` and language-agnostic.  Requests are objects with an
@@ -6,21 +6,34 @@ debuggable with ``nc`` and language-agnostic.  Requests are objects with an
 payload or an ``error`` string.  Malformed input yields an error response,
 never a dropped connection, so a misbehaving client cannot wedge a worker
 thread mid-frame.
+
+Multi-tenancy rides on one optional field: every tenant-scoped request may
+carry a ``stream_id`` string naming the logical stream it addresses.  The
+field is *optional* — a request without it addresses the
+:data:`DEFAULT_STREAM_ID` tenant, so every pre-tenant client (and the whole
+pre-tenant wire protocol) keeps working unchanged against a multi-tenant
+server.
 """
 
 from __future__ import annotations
 
 import json
 
+import numpy as np
+
 __all__ = [
     "DEFAULT_MAX_REQUEST_BYTES",
+    "DEFAULT_STREAM_ID",
     "MAX_LINE_BYTES",
+    "MAX_STREAM_ID_CHARS",
     "OPS",
     "ProtocolError",
     "decode_line",
     "encode_message",
     "error_response",
     "ok_response",
+    "parse_points",
+    "parse_stream_id",
 ]
 
 #: Backstop against unbounded request frames (ingest batches should be
@@ -36,11 +49,63 @@ DEFAULT_MAX_REQUEST_BYTES = 8 * 1024 * 1024
 
 #: The operations the service exposes.
 OPS = ("ping", "insert", "delete", "query", "checkpoint", "restore",
-       "stats", "shutdown")
+       "stats", "tenants", "shutdown")
+
+#: Tenant addressed by requests that carry no ``stream_id`` field.
+DEFAULT_STREAM_ID = "default"
+
+#: Upper bound on ``stream_id`` length — ids become checkpoint file names
+#: (percent-encoded), and most filesystems cap names at 255 bytes.
+MAX_STREAM_ID_CHARS = 128
 
 
 class ProtocolError(ValueError):
     """A request line that cannot be parsed into a valid operation."""
+
+
+def parse_stream_id(req: dict) -> str:
+    """Validate a request's optional ``stream_id`` into a tenant name.
+
+    Absent (or ``null``) means the :data:`DEFAULT_STREAM_ID` tenant — the
+    pre-tenant protocol unchanged.  Present, it must be a non-empty string
+    of at most :data:`MAX_STREAM_ID_CHARS` printable characters.
+    """
+    sid = req.get("stream_id")
+    if sid is None:
+        return DEFAULT_STREAM_ID
+    if not isinstance(sid, str) or not sid:
+        raise ProtocolError("'stream_id' must be a non-empty string")
+    if len(sid) > MAX_STREAM_ID_CHARS:
+        raise ProtocolError(
+            f"'stream_id' exceeds {MAX_STREAM_ID_CHARS} characters")
+    if any(ord(c) < 0x20 or ord(c) == 0x7F for c in sid):
+        raise ProtocolError("'stream_id' must not contain control characters")
+    return sid
+
+
+def parse_points(req: dict, d: int, delta: int) -> np.ndarray:
+    """Validate a request's ``points`` field into an (n, d) int array.
+
+    Range-checks coordinates against the codec's injective window [0, Δ]:
+    an out-of-range coordinate would alias to a *different* valid point's
+    key under the mixed-radix encoding and silently corrupt the sketches,
+    so it is rejected at the wire boundary before any shard is touched.
+    """
+    pts = req.get("points")
+    if not isinstance(pts, list) or not pts:
+        raise ProtocolError("'points' must be a non-empty list of rows")
+    try:
+        arr = np.asarray(pts, dtype=np.int64)
+    except (TypeError, ValueError, OverflowError) as exc:
+        raise ProtocolError(f"'points' rows must be integers: {exc}") from exc
+    if arr.ndim != 2 or arr.shape[1] != d:
+        raise ProtocolError(f"'points' must be (n, {d}), got shape {arr.shape}")
+    if arr.size and (arr.min() < 0 or arr.max() > delta):
+        raise ProtocolError(
+            f"point coordinates must lie in [0, {delta}], got range "
+            f"[{arr.min()}, {arr.max()}]"
+        )
+    return arr
 
 
 def encode_message(obj: dict) -> bytes:

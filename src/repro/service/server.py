@@ -1,9 +1,18 @@
-"""Stdlib TCP server exposing a :class:`ClusteringService` over JSON lines.
+"""Threaded TCP fallback server for one single-tenant service (``--sync``).
 
-``socketserver.ThreadingTCPServer`` with one handler thread per connection;
-the service's own lock serializes state access, so any number of clients
-can ingest and query concurrently.  No dependencies beyond the standard
-library — the service runs anywhere the library does.
+``socketserver.ThreadingTCPServer`` with one handler thread per connection
+— many clients can be connected and ingest/query concurrently; the
+service's own lock serializes state access.  No dependencies beyond the
+standard library — the service runs anywhere the library does.
+
+This is no longer the default front end: ``repro serve`` now runs the
+asyncio multi-tenant server (:mod:`repro.service.aserver`), and this
+threaded server stays available behind ``repro serve --sync`` for
+environments where an event loop is unwelcome (embedders that own the main
+thread, asyncio-less test rigs).  It speaks the same wire protocol but
+hosts exactly **one** tenant: requests without a ``stream_id`` (or naming
+the default tenant) work unchanged, anything else gets a clean error
+pointing at the async server.
 """
 
 from __future__ import annotations
@@ -11,46 +20,22 @@ from __future__ import annotations
 import socketserver
 import threading
 
-import numpy as np
-
 from repro.service.engine import ClusteringService, ServiceConfig
 from repro.service.protocol import (
     DEFAULT_MAX_REQUEST_BYTES,
+    DEFAULT_STREAM_ID,
     MAX_LINE_BYTES,
     ProtocolError,
     decode_line,
     encode_message,
     error_response,
     ok_response,
+    parse_points,
+    parse_stream_id,
 )
 from repro.utils.validation import FailedConstruction
 
 __all__ = ["ClusteringServer", "start_server", "serve_forever"]
-
-
-def _parse_points(req: dict, d: int, delta: int) -> np.ndarray:
-    """Validate a request's ``points`` field into an (n, d) int array.
-
-    Range-checks coordinates against the codec's injective window [0, Δ]:
-    an out-of-range coordinate would alias to a *different* valid point's
-    key under the mixed-radix encoding and silently corrupt the sketches,
-    so it is rejected at the wire boundary before any shard is touched.
-    """
-    pts = req.get("points")
-    if not isinstance(pts, list) or not pts:
-        raise ProtocolError("'points' must be a non-empty list of rows")
-    try:
-        arr = np.asarray(pts, dtype=np.int64)
-    except (TypeError, ValueError, OverflowError) as exc:
-        raise ProtocolError(f"'points' rows must be integers: {exc}") from exc
-    if arr.ndim != 2 or arr.shape[1] != d:
-        raise ProtocolError(f"'points' must be (n, {d}), got shape {arr.shape}")
-    if arr.size and (arr.min() < 0 or arr.max() > delta):
-        raise ProtocolError(
-            f"point coordinates must lie in [0, {delta}], got range "
-            f"[{arr.min()}, {arr.max()}]"
-        )
-    return arr
 
 
 class _Handler(socketserver.StreamRequestHandler):
@@ -118,13 +103,26 @@ class ClusteringServer(socketserver.ThreadingTCPServer):
         op = req["op"]
         if op == "ping":
             return ok_response(pong=True), False
+        if op == "tenants":
+            return ok_response(tenants=[{
+                "stream_id": DEFAULT_STREAM_ID,
+                "live": True,
+                "events": service.ingest.num_events,
+                "version": service.ingest.version,
+                "bytes_ingested": service.bytes_ingested,
+            }], live=1, max_live_tenants=None), False
+        if op != "shutdown" and parse_stream_id(req) != DEFAULT_STREAM_ID:
+            raise ProtocolError(
+                f"this is the single-tenant --sync server; only the "
+                f"{DEFAULT_STREAM_ID!r} stream exists here.  Run the default "
+                "(async) `repro serve` for named streams")
         if op == "insert":
             n = service.insert(
-                _parse_points(req, service.params.d, service.params.delta))
+                parse_points(req, service.params.d, service.params.delta))
             return ok_response(applied=n, version=service.ingest.version), False
         if op == "delete":
             n = service.delete(
-                _parse_points(req, service.params.d, service.params.delta))
+                parse_points(req, service.params.d, service.params.delta))
             return ok_response(applied=n, version=service.ingest.version), False
         if op == "query":
             slack = req.get("capacity_slack")
@@ -170,7 +168,7 @@ def start_server(service: ClusteringService, host: str = "127.0.0.1",
 def serve_forever(config: ServiceConfig, host: str, port: int,
                   restore_path=None, max_request_bytes: int | None = None,
                   ) -> None:
-    """Blocking entry point used by ``repro serve``."""
+    """Blocking entry point used by ``repro serve --sync``."""
     if restore_path:
         service = ClusteringService.restore(restore_path)
         print(f"restored state from {restore_path} "
@@ -185,9 +183,9 @@ def serve_forever(config: ServiceConfig, host: str, port: int,
                               max_request_bytes=max_request_bytes) as server:
             addr = server.server_address
             print(f"repro service listening on {addr[0]}:{addr[1]} "
-                  f"(k={service.params.k}, d={service.params.d}, "
-                  f"delta={service.params.delta}, {mode}, "
-                  f"backend={service.config.backend})")
+                  f"(sync single-tenant, k={service.params.k}, "
+                  f"d={service.params.d}, delta={service.params.delta}, "
+                  f"{mode}, backend={service.config.backend})", flush=True)
             try:
                 server.serve_forever()
             except KeyboardInterrupt:  # pragma: no cover - interactive only

@@ -25,6 +25,7 @@ portable and diffable.
 from __future__ import annotations
 
 from collections import Counter
+from urllib.parse import quote, unquote
 
 from repro.core.io import params_from_dict, params_to_dict
 from repro.streaming.storing import ExactStoring, SketchStoring
@@ -37,9 +38,35 @@ __all__ = [
     "build_sharded_state_dict",
     "sharded_state_to_dict",
     "sharded_state_from_dict",
+    "tenant_checkpoint_filename",
+    "tenant_id_from_filename",
 ]
 
 STATE_FORMAT_VERSION = 1
+
+#: Prefix of per-tenant checkpoint files inside a ``--tenants-dir``.
+_TENANT_FILE_PREFIX = "tenant-"
+_TENANT_FILE_SUFFIX = ".ckpt.json"
+
+
+# ------------------------------------------------------------ tenant files
+def tenant_checkpoint_filename(stream_id: str) -> str:
+    """File name a tenant's eviction checkpoint is stored under.
+
+    The stream id is percent-encoded with no safe characters, so any
+    printable id (slashes, dots, unicode) maps to exactly one flat file
+    name, and :func:`tenant_id_from_filename` inverts it losslessly.
+    """
+    return _TENANT_FILE_PREFIX + quote(stream_id, safe="") + _TENANT_FILE_SUFFIX
+
+
+def tenant_id_from_filename(name: str) -> str | None:
+    """Inverse of :func:`tenant_checkpoint_filename`; ``None`` for foreign
+    files (a tenants dir may also hold manifests or user checkpoints)."""
+    if not (name.startswith(_TENANT_FILE_PREFIX)
+            and name.endswith(_TENANT_FILE_SUFFIX)):
+        return None
+    return unquote(name[len(_TENANT_FILE_PREFIX): -len(_TENANT_FILE_SUFFIX)])
 
 
 # ---------------------------------------------------------------- storing

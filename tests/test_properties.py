@@ -16,6 +16,7 @@ from repro.core.halfspace import (
 from repro.metrics.costs import capacitated_cost, uncapacitated_cost
 from repro.streaming.sketch import IBLTSketch
 from repro.streaming.storing import ExactStoring, SketchStoring
+from repro.utils.validation import FailedConstruction
 
 
 points_strategy = st.integers(min_value=0, max_value=30)
@@ -128,7 +129,12 @@ class TestSketchLinearity:
             (live.add if sign == 1 else live.discard)((cell, pt))
             ex.update(cell, pt, sign)
             sk.update(cell, pt, sign)
-        re_, rs = ex.result(), sk.result()
+        try:
+            rs = sk.result()
+        except FailedConstruction:
+            return  # probabilistic decode failure is allowed (cf. linearity
+            # test above); agreement is only claimed for successful decodes
+        re_ = ex.result()
         assert re_.cells == rs.cells
         assert re_.small_points == rs.small_points
 
