@@ -113,6 +113,53 @@ def run_parallel_curve(n: int = 4000, delta: int = 1024,
     }
 
 
+def run_scalar_vs_batched(n: int = 4000, delta: int = 1024,
+                          batch: int = 1024, seed: int = 3) -> dict:
+    """Scalar per-event ``update`` vs vectorized ``update_batch``, same driver.
+
+    The batched path is only allowed to exist because it is bit-identical
+    to the scalar reference — this pass re-checks that on the bench
+    workload (checkpoint bytes compared) while timing both, and records
+    the speedup ratio so a regression that quietly falls back to scalar
+    work shows up in the bench history.
+    """
+    params = CoresetParams.practical(k=3, d=2, delta=delta)
+    stream, _, pilot = _workload(n=n, delta=delta, seed=seed)
+    orange = (pilot / 16, pilot / 4)
+    events = list(stream)
+
+    from repro.service.state import streaming_state_to_dict
+    from repro.streaming.streaming_coreset import StreamingCoreset
+
+    scalar = StreamingCoreset(params, seed=9, backend="exact", o_range=orange)
+    t0 = time.perf_counter()
+    for ev in events:
+        scalar.update(ev.point, ev.sign)
+    scalar_s = time.perf_counter() - t0
+
+    batched = StreamingCoreset(params, seed=9, backend="exact", o_range=orange)
+    t0 = time.perf_counter()
+    for lo in range(0, len(events), batch):
+        batched.update_batch(events[lo: lo + batch])
+    batched_s = time.perf_counter() - t0
+
+    identical = (_canonical(streaming_state_to_dict(scalar))
+                 == _canonical(streaming_state_to_dict(batched)))
+    return {
+        "bench": "scalar vs batched ingest",
+        "n_points": n,
+        "delta": delta,
+        "batch": batch,
+        "events": len(events),
+        "scalar_s": round(scalar_s, 3),
+        "batched_s": round(batched_s, 3),
+        "scalar_eps": int(len(events) / max(scalar_s, 1e-9)),
+        "batched_eps": int(len(events) / max(batched_s, 1e-9)),
+        "scalar_vs_batched": round(scalar_s / max(batched_s, 1e-9), 2),
+        "bit_identical": identical,
+    }
+
+
 def _percentiles(samples_s: list[float]) -> dict:
     """p50/p95/p99 of a latency sample, in milliseconds."""
     ms = np.asarray(samples_s) * 1e3
@@ -309,8 +356,11 @@ def _smoke(argv=None) -> dict:
     latency = run_latency_percentiles(n=n, delta=delta,
                                       batch=batch, queries=queries)
     latency["timestamp"] = stamp
+    vector = run_scalar_vs_batched(n=n, delta=delta, batch=batch)
+    vector["timestamp"] = stamp
     out = append_bench_record(report, out=args.out)
     append_bench_record(latency, out=args.out)
+    append_bench_record(vector, out=args.out)
     print_table(
         f"service: parallel vs serial ingest smoke "
         f"({report['cpu_count']} cores) -> {out}",
@@ -325,8 +375,20 @@ def _smoke(argv=None) -> dict:
         ["path", "p50", "p95", "p99"],
         _latency_rows(latency),
     )
+    print_table(
+        f"service: scalar vs batched ingest (batch={vector['batch']})",
+        ["events", "scalar ev/s", "batched ev/s", "speedup", "bit-identical"],
+        [[vector["events"], vector["scalar_eps"], vector["batched_eps"],
+          vector["scalar_vs_batched"], vector["bit_identical"]]],
+    )
     if not all(r["bit_identical"] for r in report["rows"]):
         raise SystemExit("FAIL: parallel ingest state diverged from serial")
+    if not vector["bit_identical"]:
+        raise SystemExit("FAIL: batched ingest state diverged from scalar")
+    if vector["scalar_vs_batched"] < 1.0:
+        raise SystemExit(
+            f"FAIL: batched ingest slower than scalar "
+            f"({vector['batched_eps']} vs {vector['scalar_eps']} ev/s)")
     return report
 
 

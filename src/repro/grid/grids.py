@@ -196,7 +196,9 @@ class HierarchicalGrids:
         shifted = np.asarray(coords) + self._offset(level)
         if shifted.size and shifted.min() < 0:
             raise ValueError("cell coordinates below representable range")
-        body = _encode_rows(shifted, self._coord_base, fits64=False)
+        # cell_universe_bits ≤ 62 guarantees level·radix + body < 2^62, so
+        # the whole encode stays on the int64 fast path.
+        body = _encode_rows(shifted, self._coord_base, fits64=self._fits64)
         lvl = level + 1  # shift level -1 -> 0
         radix = self._coord_base**self.d
         keys = body + lvl * radix

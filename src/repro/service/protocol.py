@@ -21,6 +21,8 @@ import json
 
 import numpy as np
 
+from repro.utils.validation import coerce_integral_rows
+
 __all__ = [
     "DEFAULT_MAX_REQUEST_BYTES",
     "DEFAULT_STREAM_ID",
@@ -90,12 +92,15 @@ def parse_points(req: dict, d: int, delta: int) -> np.ndarray:
     an out-of-range coordinate would alias to a *different* valid point's
     key under the mixed-radix encoding and silently corrupt the sketches,
     so it is rejected at the wire boundary before any shard is touched.
+    Non-integral coordinates (JSON numbers like 2.7) are likewise rejected
+    rather than truncated — truncation would silently ingest a different
+    point (integral floats such as 2.0 are accepted).
     """
     pts = req.get("points")
     if not isinstance(pts, list) or not pts:
         raise ProtocolError("'points' must be a non-empty list of rows")
     try:
-        arr = np.asarray(pts, dtype=np.int64)
+        arr = coerce_integral_rows(pts)
     except (TypeError, ValueError, OverflowError) as exc:
         raise ProtocolError(f"'points' rows must be integers: {exc}") from exc
     if arr.ndim != 2 or arr.shape[1] != d:

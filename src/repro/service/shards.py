@@ -26,9 +26,10 @@ import numpy as np
 from repro.core.params import CoresetParams
 from repro.grid.grids import HierarchicalGrids
 from repro.streaming.merge import merge_streaming_states
-from repro.streaming.stream import StreamEvent
+from repro.streaming.stream import events_to_arrays
 from repro.streaming.streaming_coreset import StreamingCoreset
 from repro.utils.rng import derive_seed
+from repro.utils.validation import check_stream_points, coerce_integral_rows
 
 __all__ = ["ShardedIngest", "normalize_events"]
 
@@ -46,19 +47,27 @@ def _mix(key: int) -> int:
     return h
 
 
+def _mix_array(keys: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`_mix` (uint64 wrap-around multiply), bigint-safe."""
+    if keys.dtype == object:
+        return np.array([_mix(k) for k in keys.tolist()],  # scalar-ok: bigints
+                        dtype=np.uint64)
+    h = keys.astype(np.uint64) * np.uint64(_MIX)
+    h ^= h >> np.uint64(29)
+    return h
+
+
 def normalize_events(events) -> list[tuple[tuple, int]]:
     """Normalize StreamEvents / (point, sign) pairs to (int tuple, int) pairs.
 
-    Both ingest backends funnel through this so points are hashable,
-    cheaply picklable (for worker queues), and uniform regardless of
-    whether the caller handed over tuples, lists, or ndarrays.
+    Points are made hashable, cheaply picklable (for worker queues), and
+    uniform regardless of whether the caller handed over tuples, lists, or
+    ndarrays.  Funnels through :func:`events_to_arrays`, so non-integral
+    coordinates raise ``ValueError`` instead of being truncated.
     """
-    norm: list[tuple[tuple, int]] = []
-    for ev in events:
-        point, sign = ((ev.point, ev.sign) if isinstance(ev, StreamEvent)
-                       else (ev[0], ev[1]))
-        norm.append((tuple(int(c) for c in point), int(sign)))
-    return norm
+    rows, signs = events_to_arrays(events)
+    return [(tuple(r), int(s))
+            for r, s in zip(rows.tolist(), signs.tolist())]
 
 
 class ShardedIngest:
@@ -155,39 +164,52 @@ class ShardedIngest:
     def apply_batch(self, events) -> int:
         """Apply a batch of events (StreamEvent or (point, sign) pairs).
 
-        Events are grouped per shard and fed through
-        :meth:`StreamingCoreset.process` so hash values are computed in
-        vectorized sweeps; within each shard the original order is kept
-        (irrelevant for the linear sketches, cheap to preserve).  Returns
-        the number of events applied; bumps :attr:`version` once.
+        The batch is normalized to coordinate/sign arrays and routed by
+        :meth:`apply_arrays` — one vectorized encode + mix instead of a
+        per-event ``shard_of``.  Returns the number of events applied;
+        bumps :attr:`version` once.
         """
-        groups: dict[int, list] = {}
-        count = 0
-        # Grouping validates every point (shard_of encodes it) before any
-        # shard is touched, so a malformed event rejects the whole batch
-        # instead of leaving a partially applied, version-less state.
-        for point, sign in normalize_events(events):
-            idx = self.shard_of(point)
-            groups.setdefault(idx, []).append((point, sign))
-            count += 1
-        for idx, batch in groups.items():
-            self.shards[idx].process(batch)
-            self.events_per_shard[idx] += len(batch)
-            for _, sign in batch:
-                self._count_sign(sign)
-        if count:
-            self.version += 1
-        return count
+        rows, signs = events_to_arrays(events, d=self.params.d)
+        return self.apply_arrays(rows, signs)
+
+    def apply_arrays(self, rows, signs) -> int:
+        """Vectorized ingest: (n, d) coordinate rows + sign vector.
+
+        The whole batch is validated and routed *before* any shard is
+        touched, so a malformed event rejects the batch instead of leaving
+        a partially applied, version-less state.  Within each shard the
+        original event order is kept (irrelevant for the linear sketches,
+        cheap to preserve).
+        """
+        rows = check_stream_points(coerce_integral_rows(rows), self.params.delta)
+        signs = np.asarray(signs, dtype=np.int64)
+        n = len(signs)
+        if n == 0:
+            return 0
+        keys = self.shards[0].grids.point_codec.encode(rows)
+        idx = (_mix_array(keys) % np.uint64(len(self.shards))).astype(np.int64)
+        for s in range(len(self.shards)):  # scalar-ok: per shard, batched inside
+            mask = idx == s
+            cnt = int(mask.sum())
+            if not cnt:
+                continue
+            self.shards[s].update_arrays(rows[mask], signs[mask])
+            self.events_per_shard[s] += cnt
+        ins = int((signs > 0).sum())
+        self.num_insertions += ins
+        self.num_deletions += n - ins
+        self.version += 1
+        return n
 
     def insert_points(self, points) -> int:
         """Insert each row of an (n, d) array; one version bump."""
-        rows = np.asarray(points, dtype=np.int64)
-        return self.apply_batch((tuple(int(c) for c in row), 1) for row in rows)
+        rows = coerce_integral_rows(points)
+        return self.apply_arrays(rows, np.ones(len(rows), dtype=np.int64))
 
     def delete_points(self, points) -> int:
         """Delete each row of an (n, d) array; one version bump."""
-        rows = np.asarray(points, dtype=np.int64)
-        return self.apply_batch((tuple(int(c) for c in row), -1) for row in rows)
+        rows = coerce_integral_rows(points)
+        return self.apply_arrays(rows, np.full(len(rows), -1, dtype=np.int64))
 
     def _apply_one(self, point, sign: int) -> int:
         point = tuple(int(c) for c in point)

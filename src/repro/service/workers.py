@@ -37,7 +37,7 @@ import numpy as np
 from repro.core.io import params_from_dict, params_to_dict
 from repro.core.params import CoresetParams
 from repro.grid.grids import PointCodec
-from repro.service.shards import _mix, normalize_events
+from repro.service.shards import _mix, _mix_array
 from repro.service.state import (
     STATE_FORMAT_VERSION,
     build_sharded_state_dict,
@@ -45,7 +45,9 @@ from repro.service.state import (
     streaming_state_to_dict,
 )
 from repro.streaming.merge import merge_streaming_states
+from repro.streaming.stream import events_to_arrays
 from repro.streaming.streaming_coreset import StreamingCoreset
+from repro.utils.validation import check_stream_points, coerce_integral_rows
 
 __all__ = ["WorkerPoolIngest", "DEFAULT_QUEUE_BATCHES"]
 
@@ -93,6 +95,14 @@ def _worker_main(spec: dict, cmd_q, out_q) -> None:
                 shard.update_batch(msg[1])
                 busy_s += time.perf_counter() - t0
                 events += len(msg[1])
+                batches += 1
+            elif op == "abatch":
+                # Columnar payload: (rows, signs) arrays straight into the
+                # vectorized ingest path — no per-event tuples on the wire.
+                t0 = time.perf_counter()
+                shard.update_arrays(msg[1], msg[2])
+                busy_s += time.perf_counter() - t0
+                events += len(msg[2])
                 batches += 1
             elif op == "state":
                 out_q.put(("state", streaming_state_to_dict(shard)))
@@ -231,38 +241,49 @@ class WorkerPoolIngest:
     def apply_batch(self, events) -> int:
         """Apply a batch of events (StreamEvent or (point, sign) pairs).
 
-        Events are normalized, validated (grouping encodes every point, so
-        one malformed event rejects the whole batch before anything is
-        enqueued), grouped per shard, and shipped to the workers.  The call
-        returns once every group is *enqueued*, not processed — workers
-        drain asynchronously, and any later ``state``/``stats`` round trip
-        observes all previously enqueued batches (FIFO queues).  Bumps
-        :attr:`version` once.
+        Normalized to coordinate/sign arrays and routed by
+        :meth:`apply_arrays`.  The call returns once every per-shard slice
+        is *enqueued*, not processed — workers drain asynchronously, and
+        any later ``state``/``stats`` round trip observes all previously
+        enqueued batches (FIFO queues).  Bumps :attr:`version` once.
         """
-        groups: dict[int, list] = {}
-        count = 0
-        for point, sign in normalize_events(events):
-            idx = self.shard_of(point)
-            groups.setdefault(idx, []).append((point, sign))
-            count += 1
-        for idx, batch in groups.items():
-            self._send(idx, ("batch", batch))
-            self.events_per_shard[idx] += len(batch)
-            for _, sign in batch:
-                self._count_sign(sign)
-        if count:
-            self.version += 1
-        return count
+        rows, signs = events_to_arrays(events, d=self._params.d)
+        return self.apply_arrays(rows, signs)
+
+    def apply_arrays(self, rows, signs) -> int:
+        """Vectorized ingest: validate and route the whole batch up front,
+        then ship one columnar (rows, signs) slice per shard worker."""
+        rows = check_stream_points(coerce_integral_rows(rows),
+                                   self._params.delta)
+        signs = np.asarray(signs, dtype=np.int64)
+        n = len(signs)
+        if n == 0:
+            return 0
+        keys = self._codec.encode(rows)
+        nshards = len(self._procs)
+        idx = (_mix_array(keys) % np.uint64(nshards)).astype(np.int64)
+        for s in range(nshards):  # scalar-ok: per shard, batched inside
+            mask = idx == s
+            cnt = int(mask.sum())
+            if not cnt:
+                continue
+            self._send(s, ("abatch", rows[mask], signs[mask]))
+            self.events_per_shard[s] += cnt
+        ins = int((signs > 0).sum())
+        self.num_insertions += ins
+        self.num_deletions += n - ins
+        self.version += 1
+        return n
 
     def insert_points(self, points) -> int:
         """Insert each row of an (n, d) array; one version bump."""
-        rows = np.asarray(points, dtype=np.int64)
-        return self.apply_batch((tuple(int(c) for c in row), 1) for row in rows)
+        rows = coerce_integral_rows(points)
+        return self.apply_arrays(rows, np.ones(len(rows), dtype=np.int64))
 
     def delete_points(self, points) -> int:
         """Delete each row of an (n, d) array; one version bump."""
-        rows = np.asarray(points, dtype=np.int64)
-        return self.apply_batch((tuple(int(c) for c in row), -1) for row in rows)
+        rows = coerce_integral_rows(points)
+        return self.apply_arrays(rows, np.full(len(rows), -1, dtype=np.int64))
 
     def _count_sign(self, sign: int) -> None:
         if sign > 0:

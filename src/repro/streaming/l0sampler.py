@@ -21,6 +21,7 @@ pipeline genuinely single-pass on dynamic streams.
 
 from __future__ import annotations
 
+import numpy as np
 
 from repro.hashing.kwise import KWiseHash
 from repro.streaming.sketch import DecodeFailure, IBLTSketch
@@ -76,6 +77,38 @@ class DistinctSampler:
         deepest = self._level_of(key)
         for j in range(deepest + 1):
             self._sketches[j].update(int(key), sign)
+
+    def update_many(self, keys, signs) -> None:
+        """Batched :meth:`update`: one Horner sweep decides every key's
+        deepest level, then each level sketch takes one batched scatter.
+
+        Bit-identical to per-event updates: a key's level set is a prefix
+        (level j holds exactly the keys with hash below p/2^j), so sketch j
+        receives the in-order subsequence of events whose deepest level is
+        ≥ j — the same subsequence the scalar path feeds it.
+        """
+        if not isinstance(keys, np.ndarray):
+            keys = np.asarray(keys)
+        if keys.size == 0:
+            return
+        signs = np.asarray(signs, dtype=np.int64)
+        vals = self._level_hash.values_np(keys)
+        # deepest(key) = number of successive halvings p//2, p//4, … that
+        # the hash value stays below (exactly `_level_of`'s loop, unrolled
+        # across the batch; p//2^t == iterated floor-halving for t >= 1).
+        p = self._level_hash.prime
+        deepest = np.zeros(len(vals), dtype=np.int64)
+        for t in range(1, self.num_levels):
+            below = np.asarray(vals < (p >> t), dtype=bool)
+            if not below.any():
+                break
+            deepest += below
+        for j in range(self.num_levels):
+            mask = deepest >= j
+            if j > 0 and not mask.any():
+                break
+            self._sketches[j].update_many(keys[mask] if j else keys,
+                                          signs[mask] if j else signs)
 
     def sample(self):
         """Return (keys, live_count_estimate).

@@ -13,8 +13,6 @@ hash polynomials, and sketch layouts), same backend.
 
 from __future__ import annotations
 
-from collections import Counter
-
 from repro.streaming.storing import ExactStoring, SketchStoring
 from repro.streaming.streaming_coreset import StreamingCoreset
 
@@ -28,17 +26,7 @@ def merge_storing(a, b):
     if (a.alpha, a.beta, a.recover_points) != (b.alpha, b.beta, b.recover_points):
         raise ValueError("cannot merge Storing structures with different budgets")
     if isinstance(a, ExactStoring):
-        a._cells.update(b._cells)
-        for key in [k for k, v in a._cells.items() if v == 0]:
-            del a._cells[key]
-        if a.recover_points:
-            for cell, pts in b._points.items():
-                tgt = a._points.setdefault(cell, Counter())
-                tgt.update(pts)
-                for k in [k for k, v in tgt.items() if v == 0]:
-                    del tgt[k]
-                if not tgt:
-                    del a._points[cell]
+        a.merge_from(b)
         return a
     if isinstance(a, SketchStoring):
         _add_iblt(a._cells, b._cells)
@@ -51,11 +39,7 @@ def merge_storing(a, b):
 def _add_iblt(dst, src) -> None:
     if dst.m != src.m or dst.universe_bits != src.universe_bits:
         raise ValueError("cannot merge IBLTs of different shapes")
-    for pos, bucket in src.buckets.items():
-        d = dst.buckets.setdefault(pos, [0, 0, 0])
-        d[0] += bucket[0]
-        d[1] += bucket[1]
-        d[2] += bucket[2]
+    dst.merge_from(src)
 
 
 def merge_streaming_states(a: StreamingCoreset, b: StreamingCoreset) -> StreamingCoreset:

@@ -18,18 +18,30 @@ The classic tool is an invertible-Bloom-lookup-table (IBLT) style sketch:
 
 Implementation notes (performance — see the HPC guide):
 
-- buckets live in a dict keyed by position, materialized on first touch;
-  a zeroed bucket is equivalent to an absent one, so decoding only walks
-  touched positions.  ``space_bits`` still charges the full pre-allocated
-  layout a space-bounded implementation would use; ``resident_bits``
-  reports what is actually materialized.
+- bucket state is **sparse-columnar**: a dict maps each touched
+  ``row·m + pos`` flat position to a slot index into three parallel growable
+  accumulator arrays (int64 counts; object-dtype key/fingerprint sums, since
+  both can exceed 64 bits).  :meth:`IBLTSketch.update_many` applies a whole
+  batch with two Horner sweeps and three ``np.add.at`` scatters.  Slots are
+  assigned in *first-touch event order* (event-major, row-minor — exactly
+  the order the scalar path materializes buckets), so the :attr:`buckets`
+  view, and therefore checkpoint bytes, are identical whether a stream was
+  ingested one event at a time or in batches of any size.
+- a zeroed slot is equivalent to an absent one; decoding only walks touched
+  slots.  ``space_bits`` still charges the full pre-allocated layout a
+  space-bounded implementation would use; ``resident_bits`` reports what is
+  actually materialized.
 - many sketches of identical shape (the nested per-bucket point sketches of
   :class:`~repro.streaming.storing.SketchStoring`) share one
   :class:`SketchHashFamily`, so creating a nested sketch allocates nothing
-  but a dict.
+  but a dict and three empty arrays, and the per-key hash sweeps can be
+  computed once per batch and fanned out to every nested sketch via
+  :meth:`IBLTSketch.apply_hashed`.
 """
 
 from __future__ import annotations
+
+import numpy as np
 
 from repro.hashing.kwise import KWiseHash, UniformBucketHash
 from repro.utils.rng import derive_seed
@@ -65,6 +77,15 @@ class SketchHashFamily:
     def fingerprint(self, key: int) -> int:
         """Verification fingerprint of ``key`` (mod a 61-bit prime)."""
         return self._fp.value(key) % self.FP_MOD
+
+    def positions_np(self, keys) -> np.ndarray:
+        """Bucket indices for a batch: shape ``(ROWS, n)`` int64 array."""
+        return np.stack([h.buckets(keys) for h in self.row_hash])
+
+    def fingerprints_np(self, keys) -> np.ndarray:
+        """Fingerprints for a batch (int64 on the fast path, else object)."""
+        vals = self._fp.values_np(keys) % self.FP_MOD
+        return vals
 
     @property
     def randomness_bits(self) -> int:
@@ -103,29 +124,160 @@ class IBLTSketch:
         self.family = family if family is not None else SketchHashFamily(
             int(m), universe_bits, seed=seed)
         self.m = self.family.m
-        # buckets[(row, pos)] = [count, keysum, fpsum]; absent == all-zero.
-        self.buckets: dict[tuple[int, int], list] = {}
+        # Sparse-columnar bucket state: flat position (row·m + pos) → slot
+        # index into the parallel accumulator arrays.  Slots are assigned in
+        # first-touch order, which keeps the `buckets` view (and checkpoint
+        # bytes) identical between the scalar and batched update paths.
+        self._slot: dict[int, int] = {}
+        self._count = np.zeros(0, dtype=np.int64)
+        self._keysum = np.zeros(0, dtype=object)  # can exceed 64 bits
+        self._fpsum = np.zeros(0, dtype=object)   # count · fp exceeds 2^63 fast
+
+    # -- columnar plumbing ----------------------------------------------------
+    def _ensure_capacity(self, need: int) -> None:
+        cap = len(self._count)
+        if need <= cap:
+            return
+        new_cap = max(16, 2 * cap, need)
+        count = np.zeros(new_cap, dtype=np.int64)
+        keysum = np.zeros(new_cap, dtype=object)
+        fpsum = np.zeros(new_cap, dtype=object)
+        n = len(self._slot)
+        count[:n] = self._count[:n]
+        keysum[:n] = self._keysum[:n]
+        fpsum[:n] = self._fpsum[:n]
+        self._count, self._keysum, self._fpsum = count, keysum, fpsum
+
+    def _slot_of(self, flat: int) -> int:
+        """Slot of a flat position, materializing it at zero if absent."""
+        idx = self._slot.get(flat)
+        if idx is None:
+            idx = len(self._slot)
+            self._ensure_capacity(idx + 1)
+            self._slot[flat] = idx
+        return idx
+
+    @property
+    def buckets(self) -> dict[tuple[int, int], list]:
+        """Materialized buckets as ``{(row, pos): [count, keysum, fpsum]}``.
+
+        A fresh dict of Python ints in first-touch order — the exact view
+        (and serialization order) the pre-columnar implementation stored.
+        Mutating the returned dict does not write through; use
+        :meth:`update` / :meth:`update_many` / :meth:`merge_from`.
+        """
+        m = self.m
+        count, keysum, fpsum = self._count, self._keysum, self._fpsum
+        return {
+            divmod(flat, m): [int(count[i]), int(keysum[i]), int(fpsum[i])]
+            for flat, i in self._slot.items()
+        }
+
+    @buckets.setter
+    def buckets(self, mapping: dict) -> None:
+        """Load bucket state (checkpoint restore); preserves mapping order."""
+        self._slot = {}
+        n = len(mapping)
+        self._count = np.zeros(n, dtype=np.int64)
+        self._keysum = np.zeros(n, dtype=object)
+        self._fpsum = np.zeros(n, dtype=object)
+        m = self.m
+        for (r, pos), b in mapping.items():  # scalar-ok: checkpoint restore
+            i = len(self._slot)
+            self._slot[r * m + pos] = i
+            self._count[i] = int(b[0])
+            self._keysum[i] = int(b[1])
+            self._fpsum[i] = int(b[2])
 
     # -- updates -------------------------------------------------------------
     def update(self, key: int, delta: int = 1) -> None:
-        """Add ``delta`` (may be negative) copies of ``key``."""
+        """Add ``delta`` (may be negative) copies of ``key`` (scalar path)."""
         key = int(key)
         fp = self.family.fingerprint(key)
         dk = delta * key
         dfp = delta * fp
-        buckets = self.buckets
-        for r, pos in enumerate(self.family.positions(key)):
-            b = buckets.get((r, pos))
-            if b is None:
-                buckets[(r, pos)] = [delta, dk, dfp]
-            else:
-                b[0] += delta
-                b[1] += dk
-                b[2] += dfp
+        m = self.m
+        for r, pos in enumerate(self.family.positions(key)):  # scalar-ok: ROWS=3
+            i = self._slot_of(r * m + pos)
+            self._count[i] += delta
+            self._keysum[i] += dk
+            self._fpsum[i] += dfp
+
+    def update_many(self, keys, deltas) -> None:
+        """Apply a batch of signed updates in vectorized sweeps.
+
+        ``keys``/``deltas`` are equal-length sequences; the result is
+        bit-identical to calling :meth:`update` per element in order.
+        """
+        if not isinstance(keys, np.ndarray):
+            keys = list(keys)
+            try:
+                keys = np.asarray(keys, dtype=np.int64)
+            except (OverflowError, TypeError, ValueError):
+                keys = np.array([int(k) for k in keys], dtype=object)
+        if keys.size == 0:
+            return
+        deltas = np.asarray(deltas, dtype=np.int64)
+        pos_rows = self.family.positions_np(keys)
+        fps = self.family.fingerprints_np(keys)
+        self.apply_hashed(pos_rows, fps, keys, deltas)
+
+    def apply_hashed(self, pos_rows: np.ndarray, fps: np.ndarray,
+                     keys, deltas: np.ndarray) -> None:
+        """Batched scatter with hash sweeps precomputed by the caller.
+
+        ``pos_rows`` is the ``(ROWS, n)`` output of
+        :meth:`SketchHashFamily.positions_np` and ``fps`` the matching
+        fingerprints — shared-family callers (the nested point sketches of
+        ``SketchStoring``) hash once per batch and fan the arrays out here.
+        """
+        n = pos_rows.shape[1]
+        m = self.m
+        rows = self.ROWS
+        # Flat positions interleaved in scalar visitation order: entry
+        # 3·i + r is event i, row r — so first-touch slot assignment matches
+        # the per-event path exactly.
+        flat = np.empty(rows * n, dtype=np.int64)
+        for r in range(rows):  # scalar-ok: ROWS=3, vectorized over events
+            flat[r::rows] = np.int64(r) * m + pos_rows[r]
+        slot = self._slot
+        uniq, first = np.unique(flat, return_index=True)
+        fresh = np.fromiter((u not in slot for u in uniq.tolist()),
+                            dtype=bool, count=len(uniq))
+        if fresh.any():
+            new_ids = uniq[fresh]
+            order = np.argsort(first[fresh], kind="stable")
+            base = len(slot)
+            self._ensure_capacity(base + len(new_ids))
+            for u in new_ids[order].tolist():  # scalar-ok: per new bucket
+                slot[u] = base
+                base += 1
+        idx = np.fromiter((slot[u] for u in flat.tolist()),
+                          dtype=np.int64, count=len(flat))
+        dk = deltas.astype(object) * (
+            keys.astype(object) if isinstance(keys, np.ndarray)
+            else np.array([int(k) for k in keys], dtype=object))
+        dfp = deltas.astype(object) * fps.astype(object)
+        np.add.at(self._count, idx, np.repeat(deltas, rows))
+        np.add.at(self._keysum, idx, np.repeat(dk, rows))
+        np.add.at(self._fpsum, idx, np.repeat(dfp, rows))
+
+    def merge_from(self, other: "IBLTSketch") -> None:
+        """Add another sketch's bucket state into this one (linearity)."""
+        for flat, j in other._slot.items():  # scalar-ok: merge fan-in
+            i = self._slot_of(flat)
+            self._count[i] += other._count[j]
+            self._keysum[i] += other._keysum[j]
+            self._fpsum[i] += other._fpsum[j]
 
     def total_count(self) -> int:
         """Signed total of all updates (row 0 holds every key once)."""
-        return sum(b[0] for (r, _), b in self.buckets.items() if r == 0)
+        total = 0
+        m = self.m
+        for flat, i in self._slot.items():  # scalar-ok: accounting
+            if flat < m:
+                total += int(self._count[i])
+        return total
 
     # -- decoding -------------------------------------------------------------
     def _try_extract(self, b: list):
@@ -148,10 +300,10 @@ class IBLTSketch:
         Raises :class:`DecodeFailure` when peeling stalls with residual mass
         (more distinct keys than capacity, w.h.p.).
         """
-        work = {pos: list(b) for pos, b in self.buckets.items() if any(b)}
+        work = {pos: b for pos, b in self.buckets.items() if any(b)}
         out: dict[int, int] = {}
         queue = list(work.keys())
-        while queue:
+        while queue:  # scalar-ok: peeling decode, ≤ capacity keys
             pos = queue.pop()
             b = work.get(pos)
             if b is None or not any(b):
@@ -162,7 +314,7 @@ class IBLTSketch:
             key, cnt = got
             out[key] = out.get(key, 0) + cnt
             fp = self.family.fingerprint(key)
-            for r, p in enumerate(self.family.positions(key)):
+            for r, p in enumerate(self.family.positions(key)):  # scalar-ok: ROWS=3
                 wb = work.get((r, p))
                 if wb is None:
                     wb = [0, 0, 0]
@@ -171,7 +323,7 @@ class IBLTSketch:
                 wb[1] -= cnt * key
                 wb[2] -= cnt * fp
                 queue.append((r, p))
-        for b in work.values():
+        for b in work.values():  # scalar-ok: stall check after decode
             if any(b):
                 raise DecodeFailure(f"IBLT peeling stalled (capacity {self.capacity})")
         return {k: v for k, v in out.items() if v != 0}
@@ -192,5 +344,5 @@ class IBLTSketch:
 
     def resident_bits(self, max_count_bits: int = 32) -> int:
         """Bits of the buckets actually materialized (data-dependent)."""
-        return (len(self.buckets) * self._per_bucket_bits(max_count_bits)
+        return (len(self._slot) * self._per_bucket_bits(max_count_bits)
                 + self.family.randomness_bits)

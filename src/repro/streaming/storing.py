@@ -33,6 +33,8 @@ from __future__ import annotations
 from collections import Counter
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.streaming.sketch import DecodeFailure, IBLTSketch, SketchHashFamily
 from repro.utils.rng import derive_seed
 from repro.utils.validation import FailedConstruction
@@ -50,51 +52,219 @@ class StoringResult:
     small_points: dict = field(default_factory=dict)
 
 
+def _as_key_array(x) -> np.ndarray:
+    """Coerce a key sequence to int64, falling back to object for bigints."""
+    if isinstance(x, np.ndarray):
+        return x
+    try:
+        return np.asarray(x, dtype=np.int64)
+    except (OverflowError, TypeError, ValueError):
+        return np.array([int(v) for v in x], dtype=object)
+
+
+def _group_sum(keys: np.ndarray, deltas: np.ndarray):
+    """Aggregate signed deltas per key; returns (sorted keys, nonzero sums)."""
+    uniq, inverse = np.unique(keys, return_inverse=True)
+    sums = np.zeros(len(uniq), dtype=np.int64)
+    np.add.at(sums, inverse, deltas)
+    keep = sums != 0
+    if keep.all():
+        return uniq, sums
+    return uniq[keep], sums[keep]
+
+
+def _group_sum_pairs(cells: np.ndarray, points: np.ndarray, deltas: np.ndarray):
+    """Aggregate per (cell, point) pair; lexicographically sorted, nonzero."""
+    if len(cells) == 0:
+        return cells, points, deltas
+    order = np.lexsort((points, cells))
+    c, p, v = cells[order], points[order], deltas[order]
+    boundary = np.empty(len(c), dtype=bool)
+    boundary[0] = True
+    if len(c) > 1:
+        np.logical_or(np.asarray(c[1:] != c[:-1], dtype=bool),
+                      np.asarray(p[1:] != p[:-1], dtype=bool),
+                      out=boundary[1:])
+    gid = np.cumsum(boundary) - 1
+    sums = np.zeros(int(gid[-1]) + 1, dtype=np.int64)
+    np.add.at(sums, gid, v)
+    starts = np.flatnonzero(boundary)
+    keep = sums != 0
+    return c[starts][keep], p[starts][keep], sums[keep]
+
+
 class ExactStoring:
-    """Reference implementation backed by dictionaries."""
+    """Reference implementation, log-structured columnar.
+
+    Updates *append* to a pending log — one O(1) list append per batch (or
+    per event on the scalar path) — and a flush aggregates the log into the
+    compacted state with numpy group-by sweeps: cell keys sorted ascending
+    with their nonzero exact counts, plus (cell, point) pairs in
+    lexicographic order when ``recover_points``.  Flushes happen at query /
+    checkpoint / merge time and whenever the log outgrows the compacted
+    state, so ingest does no per-event Python dict work at all while every
+    observable output (results, counts, serialized state) is a canonical
+    function of the multiset of updates — independent of event order and of
+    how the stream was batched.
+    """
+
+    #: Minimum pending-log size before an automatic compaction; beyond it
+    #: the log may grow to the compacted size (amortized O(n log n) total).
+    FLUSH_THRESHOLD = 4096
 
     def __init__(self, alpha: int, beta: int, recover_points: bool = True):
         self.alpha = int(alpha)
         self.beta = int(beta)
         self.recover_points = bool(recover_points)
-        self._cells: Counter = Counter()
-        self._points: dict[int, Counter] = {}
+        self._ckeys = np.empty(0, dtype=np.int64)   # sorted, counts nonzero
+        self._ccounts = np.empty(0, dtype=np.int64)
+        self._pcell = np.empty(0, dtype=np.int64)   # pairs, lex-sorted
+        self._ppoint = np.empty(0, dtype=np.int64)
+        self._pcount = np.empty(0, dtype=np.int64)
+        self._log: list = []      # (cells, points | None, signs) array triples
+        self._slog_c: list = []   # scalar-update staging (Python ints)
+        self._slog_p: list = []
+        self._slog_s: list = []
+        self._log_events = 0
 
     def update(self, cell_key: int, point_key: int, sign: int) -> None:
         """Apply one insertion (+1) / deletion (−1) of a point in a cell."""
-        self._cells[cell_key] += sign
-        if self._cells[cell_key] == 0:
-            del self._cells[cell_key]
+        self._slog_c.append(int(cell_key))
+        self._slog_p.append(int(point_key))
+        self._slog_s.append(int(sign))
+        self._log_events += 1
+        if self._log_events > max(self.FLUSH_THRESHOLD, len(self._ckeys)):
+            self._flush()
+
+    def update_many(self, cell_keys, point_keys, signs) -> None:
+        """Append a batch of signed updates (one vectorized log entry).
+
+        Arrays are logged by reference — callers must not mutate them after
+        handing them over (the streaming driver's slices are fresh).
+        """
+        cell_keys = _as_key_array(cell_keys)
+        n = len(cell_keys)
+        if n == 0:
+            return
+        signs = np.asarray(signs, dtype=np.int64)
+        pts = _as_key_array(point_keys) if self.recover_points else None
+        self._log.append((cell_keys, pts, signs))
+        self._log_events += n
+        if self._log_events > max(self.FLUSH_THRESHOLD, len(self._ckeys)):
+            self._flush()
+
+    def _flush(self) -> None:
+        """Compact the pending log into the sorted columnar state."""
+        if not self._log_events:
+            return
+        if self._slog_c:
+            self._log.append((
+                _as_key_array(self._slog_c),
+                _as_key_array(self._slog_p) if self.recover_points else None,
+                np.asarray(self._slog_s, dtype=np.int64),
+            ))
+            self._slog_c, self._slog_p, self._slog_s = [], [], []
+        logs, self._log = self._log, []
+        self._log_events = 0
+        cells = np.concatenate([self._ckeys] + [c for c, _, _ in logs])
+        deltas = np.concatenate([self._ccounts] + [s for _, _, s in logs])
+        self._ckeys, self._ccounts = _group_sum(cells, deltas)
         if self.recover_points:
-            bucket = self._points.setdefault(cell_key, Counter())
-            bucket[point_key] += sign
-            if bucket[point_key] == 0:
-                del bucket[point_key]
-            if not bucket:
-                del self._points[cell_key]
+            pc = np.concatenate([self._pcell] + [c for c, _, _ in logs])
+            pp = np.concatenate([self._ppoint] + [p for _, p, _ in logs])
+            pn = np.concatenate([self._pcount] + [s for _, _, s in logs])
+            self._pcell, self._ppoint, self._pcount = _group_sum_pairs(pc, pp, pn)
+
+    # -- live-count queries (early-kill support) ------------------------------
+    def live_cells_upper(self) -> int:
+        """Cheap overcount of non-empty cells (compacted + pending log)."""
+        return len(self._ckeys) + self._log_events
+
+    def live_cells(self) -> int:
+        """Exact number of non-empty cells (forces a compaction)."""
+        self._flush()
+        return len(self._ckeys)
+
+    # -- dict views (tests, merge, checkpoint codec) --------------------------
+    @property
+    def _cells(self) -> Counter:
+        """Counter snapshot of the exact cell counts, sorted by key.
+
+        A fresh object: mutations do not write through — use :meth:`update`
+        / :meth:`update_many` / :meth:`merge_from` (or assign a full mapping,
+        as checkpoint restore does).
+        """
+        self._flush()
+        return Counter(dict(zip(self._ckeys.tolist(), self._ccounts.tolist())))
+
+    @_cells.setter
+    def _cells(self, mapping) -> None:
+        items = sorted((int(k), int(v)) for k, v in mapping.items() if v)
+        self._ckeys = _as_key_array([k for k, _ in items])
+        self._ccounts = np.asarray([v for _, v in items], dtype=np.int64)
+
+    @property
+    def _points(self) -> dict:
+        """Per-cell point Counters (fresh snapshot, sorted; see `_cells`)."""
+        self._flush()
+        out: dict[int, Counter] = {}
+        for c, p, v in zip(self._pcell.tolist(), self._ppoint.tolist(),
+                           self._pcount.tolist()):  # scalar-ok: snapshot view
+            out.setdefault(c, Counter())[p] = v
+        return out
+
+    @_points.setter
+    def _points(self, mapping) -> None:
+        flat = sorted((int(c), int(p), int(v))
+                      for c, pts in mapping.items()
+                      for p, v in pts.items() if v)
+        self._pcell = _as_key_array([c for c, _, _ in flat])
+        self._ppoint = _as_key_array([p for _, p, _ in flat])
+        self._pcount = np.asarray([v for _, _, v in flat], dtype=np.int64)
+
+    def merge_from(self, other: "ExactStoring") -> None:
+        """Add another structure's counts into this one (linearity)."""
+        self._flush()
+        other._flush()
+        self._ckeys, self._ccounts = _group_sum(
+            np.concatenate([self._ckeys, other._ckeys]),
+            np.concatenate([self._ccounts, other._ccounts]))
+        if self.recover_points:
+            self._pcell, self._ppoint, self._pcount = _group_sum_pairs(
+                np.concatenate([self._pcell, other._pcell]),
+                np.concatenate([self._ppoint, other._ppoint]),
+                np.concatenate([self._pcount, other._pcount]))
 
     def result(self) -> StoringResult:
         """Decode the structure (Lemma 4.2's output); FAIL if > α cells."""
-        if len(self._cells) > self.alpha:
+        self._flush()
+        if len(self._ckeys) > self.alpha:
             raise FailedConstruction(
-                f"Storing: {len(self._cells)} non-empty cells exceed alpha={self.alpha}"
+                f"Storing: {len(self._ckeys)} non-empty cells exceed alpha={self.alpha}"
             )
+        cells = dict(zip(self._ckeys.tolist(), self._ccounts.tolist()))
         small = {}
         if self.recover_points:
-            for cell, cnt in self._cells.items():
-                if cnt <= self.beta:
-                    small[cell] = dict(self._points.get(cell, {}))
-        return StoringResult(cells=dict(self._cells), small_points=small)
+            pcell = self._pcell
+            for cell, cnt in cells.items():  # scalar-ok: decode, ≤ alpha cells
+                if cnt > self.beta:
+                    continue
+                lo = np.searchsorted(pcell, cell, side="left")
+                hi = np.searchsorted(pcell, cell, side="right")
+                small[cell] = dict(zip(self._ppoint[lo:hi].tolist(),
+                                       self._pcount[lo:hi].tolist()))
+        return StoringResult(cells=cells, small_points=small)
 
     def space_bits(self, cell_bits: int = 64, point_bits: int = 64) -> int:
         """Actual content bits (the reference implementation is not sublinear)."""
-        bits = len(self._cells) * (cell_bits + 32)
+        self._flush()
+        bits = len(self._ckeys) * (cell_bits + 32)
         if self.recover_points:
-            bits += sum(len(c) for c in self._points.values()) * (point_bits + 32)
+            bits += len(self._pcount) * (point_bits + 32)
         return bits
 
     def resident_bits(self, cell_bits: int = 64, point_bits: int = 64) -> int:
-        """Same as :meth:`space_bits` (the dictionary holds only content)."""
+        """Same as :meth:`space_bits` (only live content is held)."""
         return self.space_bits(cell_bits, point_bits)
 
 
@@ -135,23 +305,71 @@ class SketchStoring:
         return sk
 
     def update(self, cell_key: int, point_key: int, sign: int) -> None:
-        """Apply one signed update to the cell IBLT and its nested sketch."""
+        """Apply one signed update to the cell IBLT and its nested sketches.
+
+        Routed through the shared :class:`IBLTSketch` update path (the
+        scalar reference of the batched :meth:`update_many`); the cell and
+        nested updates are no longer hand-inlined here, so there is exactly
+        one implementation of the bucket arithmetic to keep correct.
+        """
         cell_key = int(cell_key)
-        fam = self._cells.family
-        fp = fam.fingerprint(cell_key)
-        dk = sign * cell_key
-        dfp = sign * fp
-        buckets = self._cells.buckets
-        for r, pos in enumerate(fam.positions(cell_key)):
-            b = buckets.get((r, pos))
-            if b is None:
-                buckets[(r, pos)] = [sign, dk, dfp]
-            else:
-                b[0] += sign
-                b[1] += dk
-                b[2] += dfp
-            if self.recover_points:
-                self._nested_at(r, pos).update(int(point_key), sign)
+        self._cells.update(cell_key, sign)
+        if self.recover_points:
+            pk = int(point_key)
+            for r, pos in enumerate(self._cells.family.positions(cell_key)):  # scalar-ok: ROWS=3
+                self._nested_at(r, pos).update(pk, sign)
+
+    def update_many(self, cell_keys, point_keys, signs) -> None:
+        """Apply a batch of signed updates in vectorized sweeps.
+
+        Bit-identical to calling :meth:`update` per event in order: the cell
+        IBLT takes one batched scatter, and the point-side hash sweeps run
+        once for the whole batch (every nested sketch shares one hash
+        family) before fanning out per (row, cell-bucket) group.  Nested
+        sketches materialize in first-touch event order — the same order the
+        scalar path creates them — so checkpoint bytes are unchanged.
+        """
+        if not isinstance(cell_keys, np.ndarray):
+            cell_keys = np.asarray(cell_keys)
+        n = len(cell_keys)
+        if n == 0:
+            return
+        signs = np.asarray(signs, dtype=np.int64)
+        cells = self._cells
+        fam = cells.family
+        pos_rows = fam.positions_np(cell_keys)
+        fps = fam.fingerprints_np(cell_keys)
+        cells.apply_hashed(pos_rows, fps, cell_keys, signs)
+        if not self.recover_points:
+            return
+        if not isinstance(point_keys, np.ndarray):
+            point_keys = np.asarray(point_keys)
+        pfam = self._pt_family
+        ppos = pfam.positions_np(point_keys)
+        pfps = pfam.fingerprints_np(point_keys)
+        rows = cells.ROWS
+        m = cells.m
+        # Flat (row, cell-bucket) ids in scalar visitation order (event-major,
+        # row-minor): drives both nested-sketch creation order and grouping.
+        flat = np.empty(rows * n, dtype=np.int64)
+        for r in range(rows):  # scalar-ok: ROWS=3, vectorized over events
+            flat[r::rows] = np.int64(r) * m + pos_rows[r]
+        uniq, first, inverse = np.unique(flat, return_index=True,
+                                         return_inverse=True)
+        nested = self._nested
+        for u in np.argsort(first, kind="stable").tolist():  # scalar-ok: per touched bucket
+            key = divmod(int(uniq[u]), m)
+            if key not in nested:
+                nested[key] = IBLTSketch(self.beta, self.point_universe_bits,
+                                         family=pfam)
+        # Group flat entries by bucket; stable sort keeps event order inside
+        # each group, so every nested sketch sees its scalar subsequence.
+        order = np.argsort(inverse, kind="stable")
+        bounds = np.searchsorted(inverse[order], np.arange(len(uniq) + 1))
+        for u in range(len(uniq)):  # scalar-ok: per touched bucket, batched inside
+            sel = order[bounds[u]: bounds[u + 1]] // rows
+            nested[divmod(int(uniq[u]), m)].apply_hashed(
+                ppos[:, sel], pfps[sel], point_keys[sel], signs[sel])
 
     def result(self) -> StoringResult:
         """Peel the sketches into Lemma 4.2's output; FAIL on stall."""
@@ -170,16 +388,16 @@ class SketchStoring:
             occupancy: dict[tuple[int, int], int] = {}
             positions: dict[int, tuple[int, ...]] = {}
             fam = self._cells.family
-            for cell in cells:
+            for cell in cells:  # scalar-ok: decode, ≤ alpha cells
                 pos_list = fam.positions(cell)
                 positions[cell] = pos_list
-                for r, pos in enumerate(pos_list):
+                for r, pos in enumerate(pos_list):  # scalar-ok: ROWS=3
                     occupancy[(r, pos)] = occupancy.get((r, pos), 0) + 1
-            for cell, cnt in cells.items():
+            for cell, cnt in cells.items():  # scalar-ok: decode, ≤ alpha cells
                 if cnt > self.beta:
                     continue
                 decoded = None
-                for r, pos in enumerate(positions[cell]):
+                for r, pos in enumerate(positions[cell]):  # scalar-ok: ROWS=3
                     if occupancy[(r, pos)] != 1:
                         continue  # bucket shared: nested sketch is polluted
                     nested = self._nested.get((r, pos))
@@ -217,6 +435,6 @@ class SketchStoring:
         bits = self._cells.resident_bits()
         if self.recover_points:
             bits += self._pt_family.randomness_bits
-            for sk in self._nested.values():
+            for sk in self._nested.values():  # scalar-ok: accounting
                 bits += sk.resident_bits() - self._pt_family.randomness_bits
         return bits

@@ -17,7 +17,10 @@ from typing import Iterable, Iterator
 
 import numpy as np
 
-__all__ = ["INSERT", "DELETE", "StreamEvent", "Stream", "materialize"]
+from repro.utils.validation import coerce_integral_rows
+
+__all__ = ["INSERT", "DELETE", "StreamEvent", "Stream", "materialize",
+           "events_to_arrays"]
 
 INSERT = 1
 DELETE = -1
@@ -63,6 +66,31 @@ class Stream:
     def num_deletions(self) -> int:
         """Number of −1 events in the stream."""
         return sum(1 for e in self.events if e.sign == DELETE)
+
+
+def events_to_arrays(events, d: int | None = None):
+    """Normalize a batch of events to ``(rows, signs)`` numpy arrays.
+
+    Accepts any iterable of :class:`StreamEvent` or ``(point, sign)`` pairs
+    and returns an (n, d) int64 coordinate array plus an (n,) int64 sign
+    vector — the columnar form every batched ingest path consumes.
+    Non-integral coordinates raise ``ValueError`` (via
+    :func:`~repro.utils.validation.coerce_integral_rows`) before any
+    consumer state can be touched.
+    """
+    points: list = []
+    signs: list = []
+    for ev in events:
+        if isinstance(ev, StreamEvent):
+            points.append(ev.point)
+            signs.append(ev.sign)
+        else:
+            points.append(ev[0])
+            signs.append(int(ev[1]))
+    if not points:
+        return (np.empty((0, d or 0), dtype=np.int64),
+                np.empty(0, dtype=np.int64))
+    return coerce_integral_rows(points), np.asarray(signs, dtype=np.int64)
 
 
 def materialize(stream: Iterable[StreamEvent], d: int | None = None) -> np.ndarray:

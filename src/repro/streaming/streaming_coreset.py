@@ -33,11 +33,15 @@ from repro.core.params import CoresetParams
 from repro.core.partition import ROOT_CELL_KEY
 from repro.core.weighted import Coreset, PartInfo
 from repro.grid.grids import HierarchicalGrids
-from repro.hashing.kwise import KWiseHash
+from repro.hashing.kwise import KWiseHash, StackedHashes, exact_field_threshold
 from repro.streaming.storing import ExactStoring, SketchStoring
-from repro.streaming.stream import StreamEvent
+from repro.streaming.stream import events_to_arrays
 from repro.utils.rng import derive_seed
-from repro.utils.validation import FailedConstruction, check_stream_points
+from repro.utils.validation import (
+    FailedConstruction,
+    check_stream_points,
+    coerce_integral_rows,
+)
 
 __all__ = ["StreamingCoresetInstance", "StreamingCoreset", "assemble_coreset"]
 
@@ -172,7 +176,11 @@ class _SharedHashes:
     """One λ-wise hash polynomial per (level, sub-stream); every guess-o
     instance reuses the same field values with its own threshold, exactly as
     if each instance drew its own function — Bernoulli(φ) needs only
-    ``value < φ·p`` — while paying the Horner evaluation once."""
+    ``value < φ·p`` — while paying the Horner evaluation once.
+
+    Each sub-stream's per-level polynomials additionally stack into one
+    :class:`~repro.hashing.kwise.StackedHashes` (they share a prime), so a
+    batch evaluates all L+1 levels in a single broadcast Horner sweep."""
 
     def __init__(self, params: CoresetParams, grids: HierarchicalGrids, seed: int):
         ub = grids.point_codec.universe_bits
@@ -182,10 +190,27 @@ class _SharedHashes:
                    for i in range(params.L + 1)]
         self.hhat = [KWiseHash(params.lam, ub, seed=derive_seed(seed, f"hhat-{i}"))
                      for i in range(params.L + 1)]
+        self.stacked_h = StackedHashes(self.h)
+        self.stacked_hp = StackedHashes(self.hp)
+        self.stacked_hhat = StackedHashes(self.hhat)
 
     def randomness_bits(self) -> int:
         """Total bits of stored hash-polynomial randomness."""
         return sum(f.randomness_bits for f in self.h + self.hp + self.hhat)
+
+
+def _threshold_column(thresholds) -> np.ndarray:
+    """Thresholds as an (L+1, 1) column for broadcast against value rows."""
+    try:
+        col = np.asarray(thresholds, dtype=np.int64)
+    except OverflowError:
+        col = np.array([int(t) for t in thresholds], dtype=object)
+    return col[:, None]
+
+
+def _bool_mask(x: np.ndarray) -> np.ndarray:
+    """Ensure a comparison result is a native bool array (object inputs)."""
+    return x if x.dtype == np.bool_ else np.asarray(x, dtype=bool)
 
 
 class StreamingCoresetInstance:
@@ -231,9 +256,12 @@ class StreamingCoresetInstance:
             psi = params.psi(i, o)
             psip = params.psi_part(i, o)
             phi = params.phi(i, o)
-            self._thr_h.append(int(psi * shared.h[i].prime))
-            self._thr_hp.append(int(psip * shared.hp[i].prime))
-            self._thr_hhat.append(int(phi * shared.hhat[i].prime))
+            # Exact-integer thresholds: the float product int(psi * prime)
+            # deviates from ⌊psi·p⌋ once the prime outgrows float64's 53-bit
+            # mantissa, skewing every realized sampling rate.
+            self._thr_h.append(exact_field_threshold(psi, shared.h[i].prime))
+            self._thr_hp.append(exact_field_threshold(psip, shared.hp[i].prime))
+            self._thr_hhat.append(exact_field_threshold(phi, shared.hhat[i].prime))
             self.store_h.append(make_storing(
                 params.storing_alpha(i, o, psi), 1, False, f"st-h-{i}"))
             self.store_hp.append(make_storing(
@@ -241,6 +269,9 @@ class StreamingCoresetInstance:
             self.store_hhat.append(make_storing(
                 params.storing_alpha(i, o, phi), params.storing_beta(i, o),
                 True, f"st-hhat-{i}"))
+        self._thr_h_col = _threshold_column(self._thr_h)
+        self._thr_hp_col = _threshold_column(self._thr_hp)
+        self._thr_hhat_col = _threshold_column(self._thr_hhat)
 
     # -- streaming -----------------------------------------------------------
     def update_with_values(self, point_key: int, cell_keys, sign: int,
@@ -254,7 +285,11 @@ class StreamingCoresetInstance:
                 self.store_h[i].update(ck, point_key, sign)
                 if self._early_kill is not None:
                     store = self.store_h[i]
-                    if len(store._cells) > self._early_kill * store.alpha:
+                    bound = self._early_kill * store.alpha
+                    # Cheap overcount first; compact for the exact count only
+                    # when the bound might actually be crossed.
+                    if (store.live_cells_upper() > bound
+                            and store.live_cells() > bound):
                         self.dead_reason = (
                             f"level {i} cell count blew past "
                             f"{self._early_kill:g}x alpha (o={self.o:g})"
@@ -264,6 +299,78 @@ class StreamingCoresetInstance:
                 self.store_hp[i].update(ck, point_key, sign)
             if values_hhat[i] < self._thr_hhat[i]:
                 self.store_hhat[i].update(ck, point_key, sign)
+
+    @staticmethod
+    def _scatter(store, cell_keys, pkeys, signs, mask, nsel: int, n: int) -> None:
+        """Feed the mask-selected events of a batch into one store.
+
+        A fully-selected level (ψ or φ = 1, the common case for the winning
+        guesses) hands over the shared batch arrays without copying.
+        """
+        if not nsel:
+            return
+        if nsel == n:
+            store.update_many(cell_keys, pkeys, signs)
+            return
+        idx = np.flatnonzero(mask)
+        store.update_many(cell_keys[idx], pkeys[idx], signs[idx])
+
+    def update_batch_arrays(self, pkeys, cell_keys, signs,
+                            vh, vhp, vhhat) -> None:
+        """Batched :meth:`update_with_values` over per-level value arrays.
+
+        ``cell_keys`` is a list indexed by level; ``vh``/``vhp``/``vhhat``
+        are ``(L+1, n)`` value matrices aligned with ``pkeys``/``signs``.
+        Threshold masks come from one broadcast compare per sub-stream and
+        Storing scatters run per level instead of per event, bit-identically
+        to the scalar path — including the early-kill semantics: the scalar
+        path may die *mid-batch* (skipping the rest of the stream), so
+        whenever a batch could push any level's cell count past the kill
+        line, this falls back to exact per-event replay for the whole batch.
+        """
+        if self.dead_reason is not None:
+            return
+        L1 = self.params.L + 1
+        n = len(signs)
+        mh = _bool_mask(vh < self._thr_h_col)
+        nh = mh.sum(axis=1)
+        if self._early_kill is not None:
+            for i in range(L1):
+                nsel = int(nh[i])
+                if not nsel:
+                    continue
+                store = self.store_h[i]
+                bound = self._early_kill * store.alpha
+                if (store.live_cells_upper() + nsel > bound
+                        and store.live_cells() + nsel > bound):
+                    self._replay_scalar(pkeys, cell_keys, signs, vh, vhp, vhhat)
+                    return
+        mhp = _bool_mask(vhp < self._thr_hp_col)
+        mhh = _bool_mask(vhhat < self._thr_hhat_col)
+        nhp = mhp.sum(axis=1)
+        nhh = mhh.sum(axis=1)
+        for i in range(L1):
+            ck = cell_keys[i]
+            self._scatter(self.store_h[i], ck, pkeys, signs, mh[i], int(nh[i]), n)
+            self._scatter(self.store_hp[i], ck, pkeys, signs, mhp[i], int(nhp[i]), n)
+            self._scatter(self.store_hhat[i], ck, pkeys, signs, mhh[i], int(nhh[i]), n)
+
+    def _replay_scalar(self, pkeys, cell_keys, signs, vh, vhp, vhhat) -> None:
+        """Per-event replay of a batch (reference semantics, incl. mid-batch
+        early kill).  Only reached when an instance is about to die, which
+        happens at most once per instance — never on the steady-state path."""
+        L1 = self.params.L + 1
+        for j in range(len(signs)):  # scalar-ok: early-kill replay
+            if self.dead_reason is not None:
+                return
+            self.update_with_values(
+                int(pkeys[j]),
+                [cell_keys[i][j] for i in range(L1)],
+                int(signs[j]),
+                [vh[i][j] for i in range(L1)],
+                [vhp[i][j] for i in range(L1)],
+                [vhhat[i][j] for i in range(L1)],
+            )
 
     # -- finalization ----------------------------------------------------------
     def finalize(self) -> Coreset:
@@ -379,12 +486,11 @@ class StreamingCoreset:
         """Process one insertion (+1) / deletion (−1).
 
         Coordinates are validated against the codec's injective window
-        [0, Δ] *before* any sketch is touched — an out-of-range coordinate
-        would otherwise alias to a different point's key and silently
-        corrupt the state.
+        [0, Δ] *before* any sketch is touched — an out-of-range or
+        non-integral coordinate would otherwise alias (or truncate) to a
+        different point's key and silently corrupt the state.
         """
-        row = check_stream_points(
-            np.asarray(point, dtype=np.int64)[None, :], self.params.delta)
+        row = check_stream_points(coerce_integral_rows(point), self.params.delta)
         pkey = int(self.grids.point_codec.encode(row)[0])
         self._apply_keyed(pkey, self._entry_for(pkey, row), sign)
 
@@ -393,29 +499,44 @@ class StreamingCoreset:
 
         The batch entry point the worker processes use: points are
         normalized and validated up front (the whole batch is rejected
-        before any state mutation if a single event is malformed), then
-        hash values for all distinct points are computed in vectorized
-        Horner sweeps — one per level/sub-stream instead of one per event.
-        Returns the number of events applied.
+        before any state mutation if a single event is malformed —
+        non-integral coordinates included), then the batch runs through the
+        fully vectorized :meth:`update_arrays`.  Returns the number of
+        events applied.
         """
-        norm: list[tuple[tuple, int]] = []
-        for ev in events:
-            point, sign = ((ev.point, ev.sign) if isinstance(ev, StreamEvent)
-                           else (ev[0], ev[1]))
-            norm.append((tuple(int(c) for c in point), int(sign)))
-        if not norm:
+        rows, signs = events_to_arrays(events, d=self.params.d)
+        return self.update_arrays(rows, signs)
+
+    def update_arrays(self, rows, signs) -> int:
+        """Vectorized ingest of an (n, d) coordinate array + sign vector.
+
+        One Horner sweep per (level, sub-stream) over the batch's *distinct*
+        point keys replaces per-event hashing; threshold masks and sketch
+        scatters run per level.  Bit-identical to per-event :meth:`update`
+        calls in the same order (asserted by the property tests and the
+        bench harness).
+        """
+        rows = check_stream_points(np.asarray(rows), self.params.delta)
+        n = len(rows)
+        if n == 0:
             return 0
-        rows = check_stream_points(
-            np.asarray([pt for pt, _ in norm], dtype=np.int64),
-            self.params.delta)
-        distinct = list(dict.fromkeys(pt for pt, _ in norm))
-        for lo in range(0, len(distinct), self.VALUE_CACHE_LIMIT // 2):
-            self._prefill_cache(distinct[lo: lo + self.VALUE_CACHE_LIMIT // 2])
+        signs = np.asarray(signs, dtype=np.int64)
         pkeys = self.grids.point_codec.encode(rows)
-        for i, (_, sign) in enumerate(norm):
-            pkey = int(pkeys[i])
-            self._apply_keyed(pkey, self._entry_for(pkey, rows[i: i + 1]), sign)
-        return len(norm)
+        levels = range(self.params.L + 1)
+        cell_keys = [self.grids.cell_keys(rows, i) for i in levels]
+        # Hash each distinct key once; churn streams (delete = re-hash of an
+        # earlier insert) and duplicate-heavy batches pay per distinct key.
+        # One stacked Horner sweep per sub-stream covers all L+1 levels.
+        uniq, inverse = np.unique(pkeys, return_inverse=True)
+        vh = self.shared.stacked_h.values_np(uniq)[:, inverse]
+        vhp = self.shared.stacked_hp.values_np(uniq)[:, inverse]
+        vhh = self.shared.stacked_hhat.values_np(uniq)[:, inverse]
+        for inst in self.instances:
+            inst.update_batch_arrays(pkeys, cell_keys, signs, vh, vhp, vhh)
+        if self._pilot_sampler is not None:
+            self._pilot_sampler.update_many(pkeys, signs)
+        self.num_updates += n
+        return n
 
     def process(self, stream) -> int:
         """Consume an iterable of :class:`StreamEvent` (or (point, sign) pairs)."""
@@ -445,28 +566,6 @@ class StreamingCoreset:
         if self._pilot_sampler is not None:
             self._pilot_sampler.update(pkey, sign)
         self.num_updates += 1
-
-    def _prefill_cache(self, points: list) -> None:
-        """Batch-compute keys and hash values for a chunk of distinct points."""
-        if not points:
-            return
-        rows = np.asarray(points, dtype=np.int64)
-        pkeys = [int(x) for x in self.grids.point_codec.encode(rows)]
-        levels = range(self.params.L + 1)
-        cell_keys = [self.grids.cell_keys(rows, i) for i in levels]
-        vh = [self.shared.h[i].values(pkeys) for i in levels]
-        vhp = [self.shared.hp[i].values(pkeys) for i in levels]
-        vhh = [self.shared.hhat[i].values(pkeys) for i in levels]
-        cache = self._value_cache
-        for idx, pk in enumerate(pkeys):
-            if len(cache) >= self.VALUE_CACHE_LIMIT:
-                cache.pop(next(iter(cache)))
-            cache[pk] = (
-                [int(cell_keys[i][idx]) for i in levels],
-                [vh[i][idx] for i in levels],
-                [vhp[i][idx] for i in levels],
-                [vhh[i][idx] for i in levels],
-            )
 
     # -- results ---------------------------------------------------------------
     def finalize(self) -> Coreset:

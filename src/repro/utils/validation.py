@@ -19,6 +19,7 @@ __all__ = [
     "check_epsilon_eta",
     "check_k",
     "check_weights",
+    "coerce_integral_rows",
 ]
 
 
@@ -87,6 +88,50 @@ def check_stream_points(points: np.ndarray, delta: int) -> np.ndarray:
             f"[{q.min()}, {q.max()}]"
         )
     return q.astype(np.int64, copy=False)
+
+
+def coerce_integral_rows(points) -> np.ndarray:
+    """Coerce an (n, d) array-like of coordinates to int64, rejecting
+    non-integral values.
+
+    ``np.asarray(..., dtype=np.int64)`` and ``int(c)`` both *truncate*: a
+    coordinate like 2.7 (or NaN/inf on some platforms) silently becomes a
+    different point, which then aliases to a different key under the
+    mixed-radix codec and corrupts every downstream sketch.  Every ingest
+    entry point funnels float-bearing input through here instead: integral
+    floats (2.0) are accepted, anything else raises ``ValueError`` before
+    any state is touched.
+    """
+    arr = np.asarray(points)
+    if arr.ndim == 1:
+        arr = arr[None, :]
+    if arr.ndim != 2:
+        raise ValueError(f"points must be a 2-D array (n, d), got shape {arr.shape}")
+    if np.issubdtype(arr.dtype, np.integer):
+        return arr.astype(np.int64, copy=False)
+    if arr.dtype == object:
+        # Ragged rows or non-numeric entries; re-coerce elementwise so the
+        # error names the offender instead of a generic cast failure.
+        try:
+            arr = arr.astype(np.float64)
+        except (TypeError, ValueError) as exc:
+            raise ValueError(f"point coordinates must be numeric: {exc}") from exc
+    if np.issubdtype(arr.dtype, np.floating):
+        if arr.size and not np.isfinite(arr).all():
+            raise ValueError("point coordinates must be finite (got NaN/inf)")
+        floored = np.floor(arr)
+        if arr.size and not (floored == arr).all():
+            bad = arr[floored != arr].ravel()[0]
+            raise ValueError(
+                f"point coordinates must be integral, got {bad!r}; round or "
+                "discretize real-valued data explicitly (repro.grid.discretize)"
+            )
+        if arr.size and (np.abs(floored) >= 2.0**63).any():
+            # Would overflow the int64 cast (undefined value + RuntimeWarning).
+            bad = floored[np.abs(floored) >= 2.0**63].ravel()[0]
+            raise ValueError(f"point coordinate {bad!r} out of int64 range")
+        return floored.astype(np.int64)
+    raise ValueError(f"points must be integers, got dtype {arr.dtype}")
 
 
 def check_epsilon_eta(eps: float, eta: float) -> tuple[float, float]:

@@ -103,12 +103,8 @@ class TestSketchLinearity:
             combined.update(key, sign)
         # Merge a and b bucket-wise (linearity).
         merged = IBLTSketch(64, 16, seed=seed)
-        for src in (a, b):
-            for pos, bucket in src.buckets.items():
-                m = merged.buckets.setdefault(pos, [0, 0, 0])
-                m[0] += bucket[0]
-                m[1] += bucket[1]
-                m[2] += bucket[2]
+        merged.merge_from(a)
+        merged.merge_from(b)
         try:
             want = combined.decode()
         except Exception:
