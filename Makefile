@@ -3,7 +3,7 @@
 PYTHON ?= python
 
 .PHONY: install test test-verbose bench bench-smoke bench-tenants \
-	bench-tenants-smoke examples artifacts lint clean
+	bench-tenants-smoke examples artifacts lint lint-json clean
 
 install:
 	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -41,10 +41,18 @@ bench-tenants-smoke:
 examples:
 	for f in examples/*.py; do echo "== $$f"; $(PYTHON) $$f || exit 1; done
 
+# Generic style (ruff) + project invariants (repro lint: DET/HOT/ASYNC/WIRE;
+# see docs/LINTING.md).  `repro.analysis_lint` is the same command as
+# `repro lint` but never imports numpy, so it runs in minimal environments.
 lint:
 	@$(PYTHON) -m ruff --version >/dev/null 2>&1 || \
 		{ echo "ruff is not installed; run: pip install ruff"; exit 1; }
 	$(PYTHON) -m ruff check src tests benchmarks examples
+	PYTHONPATH=src $(PYTHON) -m repro.analysis_lint src tests benchmarks examples
+
+# Machine-readable finding list (schema v1) — what CI attaches as annotations.
+lint-json:
+	PYTHONPATH=src $(PYTHON) -m repro.analysis_lint src tests benchmarks examples --format json
 
 artifacts:
 	$(PYTHON) -m pytest tests/ 2>&1 | tee test_output.txt

@@ -1,0 +1,47 @@
+"""``repro lint`` — AST-based static analysis for the repro codebase.
+
+The reproduction's correctness rests on invariants the paper takes for
+granted: linear, mergeable sketches built from shared randomness must be
+**bit-identical** regardless of sharding, batching, or checkpoint
+round-trips.  Runtime tests catch a violated invariant only on the inputs
+they try; this package checks the *code shape* that guarantees it:
+
+- :mod:`~repro.analysis_lint.det` (DET) — determinism of serialization,
+  checkpoint, merge, and hashing code;
+- :mod:`~repro.analysis_lint.hot` (HOT) — no per-event Python in the six
+  vectorized hot files without a ``# scalar-ok: <reason>`` marker;
+- :mod:`~repro.analysis_lint.async_rules` (ASYNC) — blocking work stays
+  off the asyncio event loop, no ``await`` under a thread lock;
+- :mod:`~repro.analysis_lint.wire` (WIRE) — the wire-protocol op
+  vocabulary is consistent across protocol/servers/client.
+
+See ``docs/LINTING.md`` for the rule catalog and suppression syntax
+(``# repro-lint: disable=<RULE> <reason>``).  Stdlib-only by design.
+"""
+
+from repro.analysis_lint.core import (
+    Finding,
+    LintResult,
+    Rule,
+    UsageError,
+    run_lint,
+)
+from repro.analysis_lint.hot import HOT_FILES
+from repro.analysis_lint.registry import ALL_RULES, all_codes
+
+__all__ = [
+    "ALL_RULES",
+    "Finding",
+    "HOT_FILES",
+    "LintResult",
+    "Rule",
+    "UsageError",
+    "all_codes",
+    "run_lint",
+]
+
+def main(argv=None) -> int:
+    """Entry point of ``python -m repro.analysis_lint``."""
+    from repro.analysis_lint.cli import main as _main
+
+    return _main(argv)

@@ -1,0 +1,6 @@
+"""``python -m repro.analysis_lint`` — standalone linter entry point."""
+
+from repro.analysis_lint.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

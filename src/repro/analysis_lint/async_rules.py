@@ -1,0 +1,140 @@
+"""ASYNC — event-loop safety of the asyncio service front end.
+
+``repro serve`` runs every connection on one event loop thread
+(:mod:`repro.service.aserver`); sketch work, registry mutation, and file
+I/O are *blocking* and must be pushed through ``asyncio.to_thread`` or the
+loop stalls every tenant at once (the ROADMAP's multi-tenant scalability
+rests on this).  Conversely, a coroutine must never ``await`` while holding
+a ``threading.Lock``-style lock or a registry lease: the awaited operation
+can yield to another coroutine on the same thread that then blocks on the
+same lock — a single-threaded deadlock no load test reliably reproduces.
+
+Codes
+-----
+ASYNC301  direct blocking call (registry/service/sketch mutation, file or
+          socket I/O, ``time.sleep``) inside ``async def`` — route it
+          through ``asyncio.to_thread``
+ASYNC302  ``await`` while a thread lock / registry lease is held
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis_lint.core import Finding, Rule, attr_chain, walk_scoped
+
+__all__ = ["AsyncSafetyRule"]
+
+#: Receivers whose method calls run sketch / registry / service work.
+_BLOCKING_RECEIVERS = frozenset({"registry", "service", "ingest", "sketch"})
+
+#: Methods on those receivers that take locks, run sketch work, or touch
+#: disk — the blocking surface of TenantRegistry / ClusteringService.
+_BLOCKING_METHODS = frozenset({
+    "insert", "delete", "apply_events", "query", "checkpoint", "restore",
+    "restore_in_place", "stats", "overview", "evict", "close", "finalize",
+    "merged_state", "update", "update_batch", "live_count",
+})
+
+#: Blocking file/socket primitives by attribute name (any receiver).
+_BLOCKING_IO_ATTRS = frozenset({
+    "read_text", "write_text", "read_bytes", "write_bytes",
+    "recv", "sendall", "connect", "accept",
+})
+
+#: Identifier substrings marking a sync-lock context manager.
+_LOCK_NAMES = ("lock", "lease", "mutex")
+
+
+def _receiver_name(chain) -> str | None:
+    """``registry.insert`` → ``registry``; ``self.registry.insert`` →
+    ``registry``; anything else → the base name."""
+    if len(chain) >= 2:
+        base = chain[-2]
+        return base if base != "self" else (chain[-3] if len(chain) >= 3 else None)
+    return None
+
+
+def _is_blocking_call(node: ast.Call) -> str | None:
+    """Return a human-readable description if ``node`` is a blocking call."""
+    chain = attr_chain(node.func)
+    if not chain:
+        return None
+    dotted = ".".join(chain)
+    if chain == ("time", "sleep"):
+        return "time.sleep() blocks the event loop; use asyncio.sleep()"
+    if chain[-1:] == ("open",) and len(chain) == 1:
+        return "open() performs blocking file I/O"
+    if chain[0] == "socket" and len(chain) > 1:
+        return f"'{dotted}' performs blocking socket I/O"
+    if chain in (("json", "dump"), ("json", "load")):
+        return f"'{dotted}' streams to/from a file handle (blocking I/O)"
+    if chain[-1] in _BLOCKING_IO_ATTRS:
+        return f"'{dotted}' performs blocking I/O"
+    if chain[-1] in _BLOCKING_METHODS:
+        recv = _receiver_name(chain)
+        if recv is not None and (recv in _BLOCKING_RECEIVERS
+                                 or any(r in recv for r in _BLOCKING_RECEIVERS)):
+            return (f"'{dotted}' runs sketch/registry work (locks, "
+                    "possibly disk) on the event loop")
+    return None
+
+
+def _is_sync_lock_ctx(expr) -> bool:
+    """Whether a ``with`` item's context expression names a lock/lease."""
+    for sub in ast.walk(expr):
+        name = None
+        if isinstance(sub, ast.Name):
+            name = sub.id
+        elif isinstance(sub, ast.Attribute):
+            name = sub.attr
+        if name is not None and any(t in name.lower() for t in _LOCK_NAMES):
+            return True
+    return False
+
+
+class AsyncSafetyRule(Rule):
+    family = "ASYNC"
+    description = ("asyncio front end: blocking work goes through "
+                   "asyncio.to_thread; never await while holding a "
+                   "thread lock or lease")
+    codes = {
+        "ASYNC301": "blocking call on the event loop (wrap in asyncio.to_thread)",
+        "ASYNC302": "await while a threading lock / lease is held",
+    }
+    path_patterns = ("repro/service/aserver.py",)
+
+    def check_file(self, sf):
+        findings = []
+        for node in ast.walk(sf.tree):
+            if isinstance(node, ast.AsyncFunctionDef):
+                findings.extend(self._check_coroutine(sf, node))
+        return findings
+
+    def _check_coroutine(self, sf, fn: ast.AsyncFunctionDef):
+        # Nested (sync) defs are skipped: a helper executed via to_thread
+        # may block freely — only code on this coroutine's own path counts.
+        for node in walk_scoped(fn):
+            if isinstance(node, ast.Call):
+                why = _is_blocking_call(node)
+                if why is not None:
+                    yield Finding(
+                        path=sf.rel, line=node.lineno, col=node.col_offset,
+                        code="ASYNC301",
+                        message=f"{why}; inside 'async def {fn.name}' route "
+                                "it through await asyncio.to_thread(...)")
+            elif isinstance(node, ast.With):
+                if any(_is_sync_lock_ctx(item.context_expr)
+                       for item in node.items):
+                    for inner in node.body:
+                        for sub in ast.walk(inner):
+                            if isinstance(sub, ast.Await):
+                                yield Finding(
+                                    path=sf.rel, line=sub.lineno,
+                                    col=sub.col_offset, code="ASYNC302",
+                                    message="await while holding a sync "
+                                            "lock/lease: another coroutine "
+                                            "on this loop can block on the "
+                                            "same lock and deadlock the "
+                                            "thread")
+        return

@@ -1,0 +1,81 @@
+"""Command line for ``repro lint`` (also ``python -m repro.analysis_lint``).
+
+Exit codes are automation-friendly and stable:
+
+- ``0`` — scanned clean (no findings);
+- ``1`` — findings were reported;
+- ``2`` — usage error (unknown rule, missing path, bad flags).
+
+``--format json`` emits one machine-readable report object (schema version
+1; see :meth:`repro.analysis_lint.core.LintResult.to_dict`) — this is what
+the CI workflow consumes to attach annotations.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.analysis_lint.core import UsageError, run_lint
+from repro.analysis_lint.registry import ALL_RULES
+
+__all__ = ["add_lint_arguments", "main", "run_from_args"]
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the ``lint`` options to ``parser`` (shared with repro.cli)."""
+    parser.add_argument("paths", nargs="*", default=["src"],
+                        help="files or directories to lint (default: src)")
+    parser.add_argument("--format", choices=["text", "json"], default="text",
+                        dest="output_format",
+                        help="human-readable lines, or one JSON report object")
+    parser.add_argument("--rule", action="append", default=None, metavar="RULE",
+                        help="restrict to a rule family (DET) or code "
+                             "(DET104); repeatable")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalog and exit")
+
+
+def _print_rules() -> None:
+    for rule in ALL_RULES:
+        print(f"{rule.family}: {rule.description}")
+        for code, desc in sorted(rule.codes.items()):
+            print(f"  {code}  {desc}")
+
+
+def run_from_args(args) -> int:
+    """Execute a parsed ``lint`` invocation; returns the exit code."""
+    if args.list_rules:
+        _print_rules()
+        return 0
+    try:
+        result = run_lint(args.paths, select=args.rule)
+    except UsageError as exc:
+        print(f"repro lint: {exc}", file=sys.stderr)
+        return 2
+    if args.output_format == "json":
+        print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+    else:
+        for finding in result.findings:
+            print(finding.render())
+        n = len(result.findings)
+        noun = "finding" if n == 1 else "findings"
+        print(f"repro lint: {n} {noun} in {result.files_scanned} files"
+              if n else
+              f"repro lint: clean ({result.files_scanned} files)")
+    return 1 if result.findings else 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="Project-specific static analysis: determinism (DET), "
+                    "hot-path (HOT), async-safety (ASYNC), and "
+                    "wire-protocol (WIRE) invariants.")
+    add_lint_arguments(parser)
+    return run_from_args(parser.parse_args(argv))
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,363 @@
+"""Core engine of ``repro lint``: findings, suppressions, file scanning.
+
+The linter is a thin, stdlib-only harness around :mod:`ast`.  A *rule* (see
+:mod:`repro.analysis_lint.registry`) inspects one parsed source file — or,
+for cross-file rules, a group of files — and yields :class:`Finding`
+records.  This module owns everything rule-independent:
+
+- :class:`SourceFile` — one parsed file plus its comment-derived metadata
+  (suppression directives, ``scope=`` opt-in markers, ``scalar-ok`` lines);
+- suppression handling — ``# repro-lint: disable=<RULE> <reason>`` on the
+  offending line (or on a standalone comment line directly above it)
+  silences matching findings; a directive **without a reason** does not
+  suppress and is itself reported (``LINT001``), so every exemption stays
+  reviewable;
+- :func:`run_lint` — scan paths, run rules, apply suppressions, and return
+  a :class:`LintResult`.
+
+Nothing here imports numpy/scipy: the linter must run in minimal CI
+environments and lint files it cannot import.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = [
+    "Finding",
+    "LintResult",
+    "SourceFile",
+    "UsageError",
+    "family_of",
+    "iter_python_files",
+    "load_source_file",
+    "run_lint",
+]
+
+#: Directories skipped while *walking* (explicitly named files always lint):
+#: caches, VCS internals, and the intentionally-dirty lint test fixtures.
+DEFAULT_EXCLUDED_DIRS = frozenset({
+    "__pycache__", ".git", ".pytest_cache", "build", "dist",
+    "lint_fixtures",
+})
+
+#: ``# repro-lint: <directive>`` comment anywhere on a line.
+_DIRECTIVE = re.compile(r"#\s*repro-lint:\s*(?P<body>.+?)\s*$")
+_DISABLE = re.compile(r"disable=(?P<codes>[A-Za-z0-9,]+)(?:\s+(?P<reason>.*\S))?")
+_SCOPE = re.compile(r"scope=(?P<scopes>[A-Za-z0-9,]+)")
+
+
+class UsageError(Exception):
+    """Bad linter invocation (unknown rule, missing path); exit code 2."""
+
+
+def family_of(code: str) -> str:
+    """``DET104`` → ``DET`` (the rule family a code belongs to)."""
+    return code.rstrip("0123456789")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint violation, pointing at a source line."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    @property
+    def family(self) -> str:
+        return family_of(self.code)
+
+    def to_dict(self) -> dict:
+        """JSON-safe form (the ``--format json`` schema)."""
+        return {**dataclasses.asdict(self), "rule": self.family}
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+
+@dataclass
+class _Suppression:
+    line: int            # line the directive silences
+    codes: tuple         # families or full codes, upper-cased
+    reason: str
+    directive_line: int  # line the comment itself sits on
+    used: bool = False
+
+    def matches(self, finding: Finding) -> bool:
+        return any(c in ("ALL", finding.code, finding.family)
+                   for c in self.codes)
+
+
+@dataclass
+class SourceFile:
+    """One parsed Python file plus its lint-relevant comment metadata."""
+
+    path: Path
+    rel: str                      # posix-style path used for scope matching
+    source: str
+    lines: list[str]
+    tree: ast.AST
+    suppressions: list = field(default_factory=list)
+    scopes: frozenset = frozenset()   # opt-in markers: {"det", "hot", ...}
+
+    def line_text(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1]
+        return ""
+
+    def span_has_marker(self, start: int, end: int, marker: str) -> bool:
+        """Whether ``marker`` appears on any source line in [start, end]."""
+        return any(marker in self.line_text(i) for i in range(start, end + 1))
+
+    def in_scope(self, scope_name: str, path_patterns: tuple) -> bool:
+        """A file is in a rule's scope if its path matches one of the rule's
+        patterns, or it carries a ``# repro-lint: scope=<name>`` marker
+        (how test fixtures opt in without living at the real paths)."""
+        if scope_name in self.scopes:
+            return True
+        rel = "/" + self.rel
+        for pat in path_patterns:
+            if pat.endswith("/"):
+                if "/" + pat in rel + "/":
+                    return True
+            elif rel.endswith("/" + pat):
+                return True
+        return False
+
+
+@dataclass
+class LintResult:
+    """Outcome of one :func:`run_lint` invocation."""
+
+    findings: list
+    files_scanned: int
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def to_dict(self) -> dict:
+        """The stable ``--format json`` schema (consumed by CI)."""
+        counts: dict[str, int] = {}
+        for f in self.findings:
+            counts[f.code] = counts.get(f.code, 0) + 1
+        return {
+            "version": 1,
+            "tool": "repro-lint",
+            "clean": self.clean,
+            "files_scanned": self.files_scanned,
+            "counts": dict(sorted(counts.items())),
+            "findings": [f.to_dict() for f in self.findings],
+        }
+
+
+class Rule:
+    """Base class for rule families.
+
+    A subclass sets ``family`` (``"DET"``), ``codes`` (code → one-line
+    description), and ``path_patterns`` (where the family applies: trailing
+    ``/`` matches a directory anywhere in the path, otherwise a path
+    suffix).  Per-file rules implement :meth:`check_file`; cross-file rules
+    set ``is_project_rule`` and implement :meth:`check_project`.
+    """
+
+    family: str = ""
+    description: str = ""
+    codes: dict = {}
+    path_patterns: tuple = ()
+    is_project_rule: bool = False
+
+    def applies(self, sf: "SourceFile") -> bool:
+        return sf.in_scope(self.family.lower(), self.path_patterns)
+
+    def check_file(self, sf: "SourceFile"):
+        return ()
+
+    def check_project(self, files):
+        return ()
+
+
+def _parse_comments(lines: list[str]):
+    """Extract suppression directives and scope markers from source lines.
+
+    A ``disable=`` directive on a code-bearing line applies to that line; on
+    a standalone comment line it applies to the next non-blank, non-comment
+    line (so long multi-line statements can be annotated above).
+    """
+    suppressions: list[_Suppression] = []
+    scopes: set[str] = set()
+    pending: list[_Suppression] = []
+    for i, raw in enumerate(lines, 1):
+        stripped = raw.strip()
+        m = _DIRECTIVE.search(raw)
+        if m:
+            body = m.group("body")
+            sm = _SCOPE.search(body)
+            if sm:
+                scopes.update(s.strip().lower()
+                              for s in sm.group("scopes").split(",") if s.strip())
+            dm = _DISABLE.search(body)
+            if dm:
+                codes = tuple(c.strip().upper()
+                              for c in dm.group("codes").split(",") if c.strip())
+                sup = _Suppression(line=i, codes=codes,
+                                   reason=(dm.group("reason") or "").strip(),
+                                   directive_line=i)
+                if stripped.startswith("#"):
+                    pending.append(sup)   # standalone: binds to the next stmt line
+                else:
+                    suppressions.append(sup)
+                continue
+        if not stripped or stripped.startswith("#"):
+            continue
+        for sup in pending:
+            sup.line = i
+            suppressions.append(sup)
+        pending = []
+    suppressions.extend(pending)  # trailing standalone directives: self-bound
+    return suppressions, frozenset(scopes)
+
+
+def load_source_file(path: Path, root: Path | None = None):
+    """Parse one file; returns a :class:`SourceFile` or a parse :class:`Finding`."""
+    try:
+        source = path.read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError) as exc:
+        return Finding(path=str(path), line=1, col=0, code="LINT000",
+                       message=f"cannot read file: {exc}")
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return Finding(path=str(path), line=exc.lineno or 1, col=0,
+                       code="LINT000", message=f"syntax error: {exc.msg}")
+    try:
+        rel = path.resolve().relative_to((root or Path.cwd()).resolve())
+    except ValueError:
+        rel = path
+    lines = source.splitlines()
+    suppressions, scopes = _parse_comments(lines)
+    return SourceFile(path=path, rel=rel.as_posix(), source=source,
+                      lines=lines, tree=tree,
+                      suppressions=suppressions, scopes=scopes)
+
+
+def iter_python_files(paths) -> list[Path]:
+    """Expand files/directories into a sorted, de-duplicated .py file list.
+
+    Explicitly named files are always included (that is how the test suite
+    lints its intentionally-dirty fixtures); excluded directory names only
+    prune the recursive walk.  A missing path is a :class:`UsageError`.
+    """
+    out: list[Path] = []
+    seen = set()
+    for p in paths:
+        p = Path(p)
+        if not p.exists():
+            raise UsageError(f"path does not exist: {p}")
+        if p.is_file():
+            candidates = [p] if p.suffix == ".py" else []
+        else:
+            candidates = sorted(
+                f for f in p.rglob("*.py")
+                if not (set(f.parts[:-1]) & DEFAULT_EXCLUDED_DIRS))
+        for f in candidates:
+            key = f.resolve()
+            if key not in seen:
+                seen.add(key)
+                out.append(f)
+    return out
+
+
+def run_lint(paths, select=None, root: Path | None = None) -> LintResult:
+    """Lint ``paths`` and return the suppression-filtered result.
+
+    ``select`` optionally restricts to rule families or codes (e.g.
+    ``["DET", "HOT202"]``); unknown selectors raise :class:`UsageError`.
+    """
+    from repro.analysis_lint.registry import resolve_rules
+
+    rules, code_filter = resolve_rules(select)
+    files: list[SourceFile] = []
+    findings: list[Finding] = []
+    scanned = 0
+    for path in iter_python_files(paths):
+        scanned += 1
+        loaded = load_source_file(path, root=root)
+        if isinstance(loaded, Finding):
+            findings.append(loaded)
+            continue
+        files.append(loaded)
+    for sf in files:
+        for rule in rules:
+            if not rule.is_project_rule and rule.applies(sf):
+                findings.extend(rule.check_file(sf))
+    for rule in rules:
+        if rule.is_project_rule:
+            findings.extend(rule.check_project(files))
+    if code_filter is not None:
+        findings = [f for f in findings
+                    if f.code in code_filter or f.family == "LINT"]
+    findings = _apply_suppressions(files, findings)
+    findings = sorted(set(findings),
+                      key=lambda f: (f.path, f.line, f.col, f.code))
+    return LintResult(findings=findings, files_scanned=scanned)
+
+
+def _apply_suppressions(files, findings):
+    """Drop findings matched by a reasoned directive; a directive without a
+    reason suppresses nothing and is itself reported (LINT001)."""
+    by_rel = {sf.rel: sf for sf in files}
+    by_path = {str(sf.path): sf for sf in files}
+    kept: list[Finding] = []
+    for f in findings:
+        sf = by_rel.get(f.path) or by_path.get(f.path)
+        suppressed = False
+        for sup in (sf.suppressions if sf is not None else ()):
+            if sup.line == f.line and sup.matches(f):
+                sup.used = True
+                if sup.reason:
+                    suppressed = True
+        if not suppressed:
+            kept.append(f)
+    for sf in files:
+        for sup in sf.suppressions:
+            if not sup.reason:
+                kept.append(Finding(
+                    path=sf.rel, line=sup.directive_line, col=0, code="LINT001",
+                    message="suppression needs a reason: "
+                            "'# repro-lint: disable=<RULE> <why this is safe>'"))
+    return kept
+
+
+# ---------------------------------------------------------------- AST helpers
+def attr_chain(node) -> tuple:
+    """``a.b.c`` → ``("a", "b", "c")``; empty tuple for non-name chains."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return tuple(reversed(parts))
+    return ()
+
+
+def walk_scoped(node, *, skip_nested_functions: bool = True):
+    """Yield descendants of ``node``, optionally stopping at nested function
+    boundaries (used by the ASYNC rules: a call inside a nested ``def`` is
+    not on the event loop's critical path of *this* coroutine)."""
+    stack = list(ast.iter_child_nodes(node))
+    while stack:
+        child = stack.pop()
+        if skip_nested_functions and isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        yield child
+        stack.extend(ast.iter_child_nodes(child))

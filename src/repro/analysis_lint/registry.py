@@ -1,0 +1,62 @@
+"""Rule registry: the installed rule families and selector resolution.
+
+``repro lint --rule DET --rule HOT202`` selects by family or by full code;
+unknown selectors are a :class:`~repro.analysis_lint.core.UsageError`
+(exit code 2, distinct from "findings exist" = 1).
+"""
+
+from __future__ import annotations
+
+from repro.analysis_lint.async_rules import AsyncSafetyRule
+from repro.analysis_lint.core import UsageError
+from repro.analysis_lint.det import DeterminismRule
+from repro.analysis_lint.hot import HotPathRule
+from repro.analysis_lint.wire import WireProtocolRule
+
+__all__ = ["ALL_RULES", "all_codes", "resolve_rules"]
+
+#: Every installed rule family, in report order.
+ALL_RULES = (
+    DeterminismRule(),
+    HotPathRule(),
+    AsyncSafetyRule(),
+    WireProtocolRule(),
+)
+
+
+def all_codes() -> dict:
+    """``{"DET101": "...", ...}`` across every family (for ``--list-rules``)."""
+    out: dict[str, str] = {}
+    for rule in ALL_RULES:
+        out.update(rule.codes)
+    return out
+
+
+def resolve_rules(select=None):
+    """Resolve selectors to ``(rules, code_filter)``.
+
+    ``select=None`` runs everything (``code_filter=None``).  A selector is a
+    family name (``DET``) enabling all its codes, or one full code
+    (``DET104``).  Case-insensitive.
+    """
+    if not select:
+        return list(ALL_RULES), None
+    by_family = {r.family: r for r in ALL_RULES}
+    rules = []
+    codes: set[str] = set()
+    for sel in select:
+        token = sel.strip().upper()
+        if token in by_family:
+            rule = by_family[token]
+            if rule not in rules:
+                rules.append(rule)
+            codes.update(rule.codes)
+            continue
+        owner = next((r for r in ALL_RULES if token in r.codes), None)
+        if owner is None:
+            known = ", ".join(sorted(by_family) + sorted(all_codes()))
+            raise UsageError(f"unknown rule {sel!r}; known: {known}")
+        if owner not in rules:
+            rules.append(owner)
+        codes.add(token)
+    return rules, codes

@@ -1,0 +1,187 @@
+"""WIRE — cross-file consistency of the JSON-lines wire protocol.
+
+The service speaks one op vocabulary, declared once
+(:data:`repro.service.protocol.OPS`) and re-implemented three times: the
+asyncio multi-tenant server (``aserver.py``), the threaded ``--sync``
+server (``server.py``), and the blocking client (``client.py``).  Protocol
+drift between them is nasty precisely because it is *not* an error at the
+wire layer — an op added to ``OPS`` but forgotten in a server passes
+``decode_line`` and then falls into the servers' "unreachable" tail, and a
+client sending an undeclared op gets a generic error envelope.  Either way
+the symptom is a confused (or hung) client far from the actual bug.  This
+rule makes drift a lint failure instead.
+
+Mechanics: the rule groups files by directory around each ``protocol.py``
+that assigns an ``OPS`` tuple; sibling role files (``aserver.py``,
+``server.py``, ``client.py``) are pulled from the scanned set, or loaded
+from disk when the lint invocation named only part of the group.  Handled
+ops are string literals compared against the ``op`` variable (or
+``req["op"]``); client ops are literal first arguments of
+``request(...)``/``_send_points(...)``.
+
+Codes
+-----
+WIRE401  op declared in OPS but not handled by a server (anchored at the
+         OPS declaration, naming the offending file)
+WIRE402  op handled or sent somewhere but missing from OPS (anchored at
+         the stray literal)
+WIRE403  op declared in OPS but not reachable from the client
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from repro.analysis_lint.core import Finding, Rule, load_source_file
+
+__all__ = ["WireProtocolRule"]
+
+_SERVER_ROLES = ("aserver.py", "server.py")
+_CLIENT_ROLE = "client.py"
+
+
+def _find_ops(sf):
+    """The ``OPS = ("...", ...)`` assignment; returns (ops, lineno) or None."""
+    for node in ast.walk(sf.tree):
+        if isinstance(node, ast.Assign) \
+                and any(isinstance(t, ast.Name) and t.id == "OPS"
+                        for t in node.targets) \
+                and isinstance(node.value, (ast.Tuple, ast.List)):
+            ops = [e.value for e in node.value.elts
+                   if isinstance(e, ast.Constant) and isinstance(e.value, str)]
+            if ops:
+                return ops, node.lineno
+    return None
+
+
+def _is_op_expr(node) -> bool:
+    """``op`` or ``req["op"]`` — the dispatched operation name."""
+    if isinstance(node, ast.Name) and node.id == "op":
+        return True
+    return (isinstance(node, ast.Subscript)
+            and isinstance(node.slice, ast.Constant)
+            and node.slice.value == "op")
+
+
+def _string_consts(node):
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Constant) and isinstance(sub.value, str):
+            yield sub.value, sub.lineno
+
+
+def _handled_ops(sf) -> dict:
+    """Op literals compared against the dispatched op: ``{"query": line}``."""
+    out: dict[str, int] = {}
+    for node in ast.walk(sf.tree):
+        if not isinstance(node, ast.Compare):
+            continue
+        sides = [node.left, *node.comparators]
+        if not any(_is_op_expr(s) for s in sides):
+            continue
+        for s in sides:
+            if _is_op_expr(s):
+                continue
+            for value, line in _string_consts(s):
+                out.setdefault(value, line)
+    return out
+
+
+def _client_ops(sf) -> dict:
+    """Op literals the client puts on the wire: first string argument of
+    ``request(...)`` / ``_send_points(...)`` calls."""
+    out: dict[str, int] = {}
+    for node in ast.walk(sf.tree):
+        if not isinstance(node, ast.Call) or not node.args:
+            continue
+        func = node.func
+        name = func.attr if isinstance(func, ast.Attribute) else \
+            (func.id if isinstance(func, ast.Name) else None)
+        if name not in ("request", "_send_points"):
+            continue
+        arg = node.args[0]
+        if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+            out.setdefault(arg.value, arg.lineno)
+    return out
+
+
+class WireProtocolRule(Rule):
+    family = "WIRE"
+    description = ("every op in protocol.OPS is handled by both servers "
+                   "and reachable from the client; no undeclared ops")
+    codes = {
+        "WIRE401": "op declared in OPS but unhandled by a server",
+        "WIRE402": "op handled/sent but missing from protocol OPS",
+        "WIRE403": "op declared in OPS but not reachable from the client",
+    }
+    is_project_rule = True
+
+    def check_project(self, files):
+        by_dir: dict[Path, dict] = {}
+        for sf in files:
+            by_dir.setdefault(sf.path.resolve().parent, {})[sf.path.name] = sf
+        findings = []
+        for directory, members in sorted(by_dir.items()):
+            proto = members.get("protocol.py")
+            if proto is None:
+                continue
+            declared = _find_ops(proto)
+            if declared is None:
+                continue
+            findings.extend(self._check_group(directory, members, proto,
+                                              *declared))
+        return findings
+
+    def _sibling(self, directory, members, name):
+        """A role file: from the scanned set, else loaded from disk (so
+        linting protocol.py alone still cross-checks the whole group)."""
+        if name in members:
+            return members[name]
+        path = directory / name
+        if path.exists():
+            loaded = load_source_file(path)
+            if not isinstance(loaded, Finding):
+                return loaded
+        return None
+
+    def _check_group(self, directory, members, proto, ops, ops_line):
+        declared = set(ops)
+        for role in _SERVER_ROLES:
+            sf = self._sibling(directory, members, role)
+            if sf is None:
+                continue
+            handled = _handled_ops(sf)
+            for op in ops:
+                if op not in handled:
+                    yield Finding(
+                        path=proto.rel, line=ops_line, col=0, code="WIRE401",
+                        message=f"op '{op}' is declared in OPS but never "
+                                f"handled in {role}; a client sending it "
+                                "gets the generic error tail instead of "
+                                "the operation")
+            for op, line in sorted(handled.items()):
+                if op not in declared:
+                    yield Finding(
+                        path=sf.rel, line=line, col=0, code="WIRE402",
+                        message=f"{role} handles op '{op}' which is not "
+                                "declared in protocol OPS — decode_line "
+                                "rejects it before dispatch ever sees it")
+        client = self._sibling(directory, members, _CLIENT_ROLE)
+        if client is not None:
+            sent = _client_ops(client)
+            for op in ops:
+                if op not in sent:
+                    yield Finding(
+                        path=proto.rel, line=ops_line, col=0, code="WIRE403",
+                        message=f"op '{op}' is declared in OPS but "
+                                f"{_CLIENT_ROLE} never sends it; the "
+                                "protocol surface and the client API have "
+                                "drifted")
+            for op, line in sorted(sent.items()):
+                if op not in declared:
+                    yield Finding(
+                        path=client.rel, line=line, col=0, code="WIRE402",
+                        message=f"{_CLIENT_ROLE} sends op '{op}' which is "
+                                "not declared in protocol OPS — the server "
+                                "will reject it as unknown")
+        return

@@ -14,6 +14,9 @@ Subcommands
                multi-tenant by default, threaded single-tenant via --sync)
 ``client``     talk to a running service (insert/delete/query/checkpoint/
                tenants/...; --stream addresses a named tenant)
+``lint``       project-specific static analysis (determinism, hot-path,
+               async-safety, wire-protocol invariants); exit code 0 clean /
+               1 findings / 2 usage error
 
 Every command is seeded and prints exactly what it did; these are the same
 code paths the library exposes, so the CLI doubles as an end-to-end smoke
@@ -148,6 +151,12 @@ def build_parser() -> argparse.ArgumentParser:
     c.add_argument("--path", default=None,
                    help="server-side checkpoint path for checkpoint/restore")
     c.add_argument("--capacity-slack", type=float, default=None)
+
+    from repro.analysis_lint.cli import add_lint_arguments
+
+    lint = sub.add_parser("lint", help="AST-based static analysis "
+                                       "(DET/HOT/ASYNC/WIRE rule families)")
+    add_lint_arguments(lint)
     return p
 
 
@@ -373,6 +382,12 @@ def _cmd_client(args) -> int:
         return 0
 
 
+def _cmd_lint(args) -> int:
+    from repro.analysis_lint.cli import run_from_args
+
+    return run_from_args(args)
+
+
 def main(argv=None) -> int:
     """Entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -385,6 +400,7 @@ def main(argv=None) -> int:
         "info": _cmd_info,
         "serve": _cmd_serve,
         "client": _cmd_client,
+        "lint": _cmd_lint,
     }[args.command](args)
 
 

@@ -158,7 +158,7 @@ class KWiseHash:
             return acc
         if bits <= _MULTI_LIMB_MAX_BITS:
             return self._values_multi_limb(arr % p, bits)
-        return self._values_object(arr.tolist())
+        return self._values_object(arr.tolist())  # scalar-ok: object-int fallback for >55-bit primes
 
     def _values_multi_limb(self, arr: np.ndarray, bits: int) -> np.ndarray:
         """int64 Horner for 2^31 ≤ p < 2^55 via limbed modular products.

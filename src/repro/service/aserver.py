@@ -150,10 +150,16 @@ class AsyncClusteringServer:
         if op == "shutdown":
             return ok_response(stopping=True), True
         if op == "tenants":
-            rows = await asyncio.to_thread(registry.overview)
+            # One hop off the loop for both registry reads: overview() and
+            # live_count() take the registry lock, which an evicting thread
+            # may hold while checkpointing a tenant to disk.
+            def _tenants_payload():
+                return registry.overview(), registry.live_count()
+
+            rows, live = await asyncio.to_thread(_tenants_payload)
             return ok_response(
                 tenants=rows,
-                live=registry.live_count(),
+                live=live,
                 max_live_tenants=registry.max_live_tenants,
             ), False
         stream_id = parse_stream_id(req)

@@ -67,7 +67,7 @@ def normalize_events(events) -> list[tuple[tuple, int]]:
     """
     rows, signs = events_to_arrays(events)
     return [(tuple(r), int(s))
-            for r, s in zip(rows.tolist(), signs.tolist())]
+            for r, s in zip(rows.tolist(), signs.tolist())]  # scalar-ok: legacy tuple view, test-only helper
 
 
 class ShardedIngest:
@@ -233,7 +233,7 @@ class ShardedIngest:
         ingest state) and folds the remaining shards in; they are only read.
         """
         merged = copy.deepcopy(self.shards[0])
-        for shard in self.shards[1:]:
+        for shard in self.shards[1:]:  # scalar-ok: per-shard merge fan-in
             merge_streaming_states(merged, shard)
         return merged
 

@@ -75,21 +75,21 @@ def _storing_to_dict(store) -> dict:
     if isinstance(store, ExactStoring):
         return {
             "kind": "exact",
-            "cells": [[int(c), int(n)] for c, n in store._cells.items()],
+            "cells": [[int(c), int(n)] for c, n in store._cells.items()],  # repro-lint: disable=DET104 sorted-by-key snapshot property
             "points": [
-                [int(cell), [[int(p), int(n)] for p, n in pts.items()]]
-                for cell, pts in store._points.items()
+                [int(cell), [[int(p), int(n)] for p, n in pts.items()]]  # repro-lint: disable=DET104 sorted-by-(cell,point) snapshot property
+                for cell, pts in store._points.items()  # repro-lint: disable=DET104 sorted-by-cell snapshot property
             ],
         }
     if isinstance(store, SketchStoring):
         return {
             "kind": "sketch",
             "cells": [[r, p, b[0], int(b[1]), int(b[2])]
-                      for (r, p), b in store._cells.buckets.items()],
+                      for (r, p), b in store._cells.buckets.items()],  # repro-lint: disable=DET104 first-touch bucket order IS the checkpoint byte contract
             "nested": [
                 [r, p, [[r2, p2, b[0], int(b[1]), int(b[2])]
-                        for (r2, p2), b in sk.buckets.items()]]
-                for (r, p), sk in store._nested.items()
+                        for (r2, p2), b in sk.buckets.items()]]  # repro-lint: disable=DET104 first-touch bucket order IS the checkpoint byte contract
+                for (r, p), sk in store._nested.items()  # repro-lint: disable=DET104 first-touch nested order mirrors sequential-ingest creation order
             ],
         }
     raise TypeError(f"unknown Storing type {type(store)!r}")
@@ -135,7 +135,7 @@ def streaming_state_to_dict(sc: StreamingCoreset) -> dict:
     pilot = None
     if sc._pilot_sampler is not None:
         pilot = [
-            [[r, p, b[0], int(b[1]), int(b[2])] for (r, p), b in sk.buckets.items()]
+            [[r, p, b[0], int(b[1]), int(b[2])] for (r, p), b in sk.buckets.items()]  # repro-lint: disable=DET104 first-touch bucket order IS the checkpoint byte contract
             for sk in sc._pilot_sampler._sketches
         ]
     return {

@@ -86,7 +86,7 @@ def _worker_main(spec: dict, cmd_q, out_q) -> None:
     events = 0
     batches = 0
     busy_s = 0.0
-    while True:
+    while True:  # scalar-ok: per-batch command loop
         msg = cmd_q.get()
         op = msg[0]
         try:
@@ -183,7 +183,7 @@ class WorkerPoolIngest:
         self._cmd_queues = []
         self._out_queues = []
         self._procs = []
-        for w in range(num_workers):
+        for w in range(num_workers):  # scalar-ok: per-worker spawn
             spec = dict(base_spec)
             if shard_states is not None:
                 spec["state"] = shard_states[w]
@@ -198,7 +198,7 @@ class WorkerPoolIngest:
             self._out_queues.append(out_q)
             self._procs.append(proc)
         try:
-            for w in range(num_workers):
+            for w in range(num_workers):  # scalar-ok: per-worker handshake
                 self._collect(w, "ready")
         except Exception:
             self.close()
@@ -301,7 +301,7 @@ class WorkerPoolIngest:
         """
         states = self._shard_state_dicts()
         merged = streaming_state_from_dict(states[0])
-        for rec in states[1:]:
+        for rec in states[1:]:  # scalar-ok: per-shard merge fan-in
             merge_streaming_states(merged, streaming_state_from_dict(rec))
         return merged
 
@@ -360,7 +360,7 @@ class WorkerPoolIngest:
 
         Synchronizing — the reply queues behind any pending batches.
         """
-        for idx in range(self.num_shards):
+        for idx in range(self.num_shards):  # scalar-ok: per-worker stats round-trip
             self._send(idx, ("stats",))
         return [self._collect(idx, "stats") for idx in range(self.num_shards)]
 
@@ -368,7 +368,7 @@ class WorkerPoolIngest:
         """Queued-but-unprocessed command count per worker (best effort —
         ``None`` where the platform lacks ``qsize``)."""
         depths: list[int | None] = []
-        for q in self._cmd_queues:
+        for q in self._cmd_queues:  # scalar-ok: per-worker queue probe
             try:
                 depths.append(q.qsize())
             except NotImplementedError:  # pragma: no cover - macOS
@@ -403,18 +403,18 @@ class WorkerPoolIngest:
         if self._closed:
             return
         self._closed = True
-        for idx, q in enumerate(self._cmd_queues):
+        for idx, q in enumerate(self._cmd_queues):  # scalar-ok: per-worker shutdown
             if self._procs[idx].is_alive():
                 try:
                     q.put(("stop",), timeout=timeout)
                 except queue_mod.Full:  # pragma: no cover - wedged worker
                     pass
-        for proc in self._procs:
+        for proc in self._procs:  # scalar-ok: per-worker join
             proc.join(timeout)
             if proc.is_alive():  # pragma: no cover - wedged worker
                 proc.terminate()
                 proc.join(5.0)
-        for q in self._cmd_queues + self._out_queues:
+        for q in self._cmd_queues + self._out_queues:  # scalar-ok: per-queue close
             q.close()
 
     def __enter__(self) -> "WorkerPoolIngest":
@@ -438,7 +438,7 @@ class WorkerPoolIngest:
     def _collect(self, idx: int, want: str):
         """Wait for one tagged reply from worker ``idx``; raise on errors."""
         deadline = time.monotonic() + _REPLY_TIMEOUT_S
-        while True:
+        while True:  # scalar-ok: reply poll, per message
             try:
                 tag, payload = self._out_queues[idx].get(timeout=0.5)
             except queue_mod.Empty:
@@ -462,6 +462,6 @@ class WorkerPoolIngest:
 
     def _shard_state_dicts(self) -> list[dict]:
         """Serialized state of every shard (parallel drain across workers)."""
-        for idx in range(self.num_shards):
+        for idx in range(self.num_shards):  # scalar-ok: per-shard state drain
             self._send(idx, ("state",))
         return [self._collect(idx, "state") for idx in range(self.num_shards)]

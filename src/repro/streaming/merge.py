@@ -30,6 +30,9 @@ def merge_storing(a, b):
         return a
     if isinstance(a, SketchStoring):
         _add_iblt(a._cells, b._cells)
+        # repro-lint: disable=DET104 merging in b's first-touch order creates
+        # any nested sketch new to `a` exactly where sequential ingest of the
+        # concatenated stream (a's events then b's) would have created it.
         for pos, sk in b._nested.items():
             _add_iblt(a._nested_at(*pos), sk)
         return a

@@ -242,7 +242,7 @@ class IBLTSketch:
             flat[r::rows] = np.int64(r) * m + pos_rows[r]
         slot = self._slot
         uniq, first = np.unique(flat, return_index=True)
-        fresh = np.fromiter((u not in slot for u in uniq.tolist()),
+        fresh = np.fromiter((u not in slot for u in uniq.tolist()),  # scalar-ok: dict-backed slot lookup, per distinct bucket
                             dtype=bool, count=len(uniq))
         if fresh.any():
             new_ids = uniq[fresh]
@@ -252,7 +252,7 @@ class IBLTSketch:
             for u in new_ids[order].tolist():  # scalar-ok: per new bucket
                 slot[u] = base
                 base += 1
-        idx = np.fromiter((slot[u] for u in flat.tolist()),
+        idx = np.fromiter((slot[u] for u in flat.tolist()),  # scalar-ok: dict-backed slot lookup
                           dtype=np.int64, count=len(flat))
         dk = deltas.astype(object) * (
             keys.astype(object) if isinstance(keys, np.ndarray)

@@ -195,7 +195,7 @@ class ExactStoring:
         as checkpoint restore does).
         """
         self._flush()
-        return Counter(dict(zip(self._ckeys.tolist(), self._ccounts.tolist())))
+        return Counter(dict(zip(self._ckeys.tolist(), self._ccounts.tolist())))  # scalar-ok: snapshot view
 
     @_cells.setter
     def _cells(self, mapping) -> None:
@@ -208,7 +208,7 @@ class ExactStoring:
         """Per-cell point Counters (fresh snapshot, sorted; see `_cells`)."""
         self._flush()
         out: dict[int, Counter] = {}
-        for c, p, v in zip(self._pcell.tolist(), self._ppoint.tolist(),
+        for c, p, v in zip(self._pcell.tolist(), self._ppoint.tolist(),  # scalar-ok: snapshot view
                            self._pcount.tolist()):  # scalar-ok: snapshot view
             out.setdefault(c, Counter())[p] = v
         return out
@@ -242,7 +242,7 @@ class ExactStoring:
             raise FailedConstruction(
                 f"Storing: {len(self._ckeys)} non-empty cells exceed alpha={self.alpha}"
             )
-        cells = dict(zip(self._ckeys.tolist(), self._ccounts.tolist()))
+        cells = dict(zip(self._ckeys.tolist(), self._ccounts.tolist()))  # scalar-ok: decode, <= alpha cells
         small = {}
         if self.recover_points:
             pcell = self._pcell
@@ -251,8 +251,8 @@ class ExactStoring:
                     continue
                 lo = np.searchsorted(pcell, cell, side="left")
                 hi = np.searchsorted(pcell, cell, side="right")
-                small[cell] = dict(zip(self._ppoint[lo:hi].tolist(),
-                                       self._pcount[lo:hi].tolist()))
+                small[cell] = dict(zip(self._ppoint[lo:hi].tolist(),  # scalar-ok: decode, small cells only
+                                       self._pcount[lo:hi].tolist()))  # scalar-ok: decode, small cells only
         return StoringResult(cells=cells, small_points=small)
 
     def space_bits(self, cell_bits: int = 64, point_bits: int = 64) -> int:

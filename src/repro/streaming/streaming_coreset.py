@@ -79,10 +79,10 @@ def assemble_coreset(params: CoresetParams, o: float, grids: HierarchicalGrids,
             f"assemble: root cell not heavy (guess o={o:g} too large)"
         )
     total_heavy = len(heavy[-1])
-    for i in range(0, L):
+    for i in range(0, L):  # scalar-ok: finalize: per level
         psi = params.psi(i, o)
         level_heavy = set()
-        for cell, cnt in res_h[i].cells.items():
+        for cell, cnt in res_h[i].cells.items():  # scalar-ok: finalize: <= alpha cells
             if cnt / psi < params.threshold(i, o):
                 continue
             if _parent_key(grids, cell) in heavy[i - 1]:
@@ -98,10 +98,10 @@ def assemble_coreset(params: CoresetParams, o: float, grids: HierarchicalGrids,
 
     # --- crucial cells and part sizes from the h' sketches. ----------------
     part_tau: dict[tuple[int, int], float] = {}
-    for i in range(0, L + 1):
+    for i in range(0, L + 1):  # scalar-ok: finalize: per level
         psip = params.psi_part(i, o)
         level_mass = 0.0
-        for cell, cnt in res_hp[i].cells.items():
+        for cell, cnt in res_hp[i].cells.items():  # scalar-ok: finalize: <= alpha cells
             if i < L and cell in heavy[i]:
                 continue
             parent = _parent_key(grids, cell)
@@ -123,12 +123,12 @@ def assemble_coreset(params: CoresetParams, o: float, grids: HierarchicalGrids,
     pts_rows: list[np.ndarray] = []
     weights: list[float] = []
     part_ids: list[int] = []
-    for i in range(0, L + 1):
+    for i in range(0, L + 1):  # scalar-ok: finalize: per level
         phi = params.phi(i, o)
         cutoff = params.small_part_cutoff(i, o)
         res = res_hhat[i]
         beta = params.storing_beta(i, o)
-        for cell, cnt in res.cells.items():
+        for cell, cnt in res.cells.items():  # scalar-ok: finalize: <= alpha cells
             # Crucial-cell test mirrors the h'-stream logic.
             if i < L and cell in heavy[i]:
                 continue
@@ -151,9 +151,9 @@ def assemble_coreset(params: CoresetParams, o: float, grids: HierarchicalGrids,
                     size_estimate=tau, phi=phi,
                 ))
             pid = retained[key]
-            for pkey, pcnt in res.small_points.get(cell, {}).items():
+            for pkey, pcnt in res.small_points.get(cell, {}).items():  # scalar-ok: finalize: <= beta samples per cell
                 row = grids.point_codec.decode(pkey)
-                for _ in range(int(pcnt)):
+                for _ in range(int(pcnt)):  # scalar-ok: finalize: multiplicity expansion
                     pts_rows.append(row)
                     weights.append(1.0 / phi)
                     part_ids.append(pid)
@@ -252,7 +252,7 @@ class StreamingCoresetInstance:
         # Acceptance thresholds against the shared hash values.
         self._thr_h, self._thr_hp, self._thr_hhat = [], [], []
         self.store_h, self.store_hp, self.store_hhat = [], [], []
-        for i in range(L + 1):
+        for i in range(L + 1):  # scalar-ok: constructor: per level
             psi = params.psi(i, o)
             psip = params.psi_part(i, o)
             phi = params.phi(i, o)
@@ -279,7 +279,7 @@ class StreamingCoresetInstance:
         """Process one update given precomputed hash values per level."""
         if self.dead_reason is not None:
             return
-        for i in range(self.params.L + 1):
+        for i in range(self.params.L + 1):  # scalar-ok: scalar reference path, per level
             ck = int(cell_keys[i])
             if values_h[i] < self._thr_h[i]:
                 self.store_h[i].update(ck, point_key, sign)
@@ -335,7 +335,7 @@ class StreamingCoresetInstance:
         mh = _bool_mask(vh < self._thr_h_col)
         nh = mh.sum(axis=1)
         if self._early_kill is not None:
-            for i in range(L1):
+            for i in range(L1):  # scalar-ok: per level per batch
                 nsel = int(nh[i])
                 if not nsel:
                     continue
@@ -349,7 +349,7 @@ class StreamingCoresetInstance:
         mhh = _bool_mask(vhhat < self._thr_hhat_col)
         nhp = mhp.sum(axis=1)
         nhh = mhh.sum(axis=1)
-        for i in range(L1):
+        for i in range(L1):  # scalar-ok: per level per batch
             ck = cell_keys[i]
             self._scatter(self.store_h[i], ck, pkeys, signs, mh[i], int(nh[i]), n)
             self._scatter(self.store_hp[i], ck, pkeys, signs, mhp[i], int(nhp[i]), n)
@@ -387,8 +387,8 @@ class StreamingCoresetInstance:
     def space_bits(self) -> int:
         """Total sketch space (bits) of this instance."""
         total = 0
-        for group in (self.store_h, self.store_hp, self.store_hhat):
-            for s in group:
+        for group in (self.store_h, self.store_hp, self.store_hhat):  # scalar-ok: accounting, per store group
+            for s in group:  # scalar-ok: accounting, per store
                 total += s.space_bits()
         return total
 
@@ -456,7 +456,7 @@ class StreamingCoreset:
         lo, hi = (1.0, top) if o_range is None else (max(1.0, o_range[0]), o_range[1])
         self.instances: list[StreamingCoresetInstance] = []
         o = 1.0
-        while o <= top * 2:
+        while o <= top * 2:  # scalar-ok: constructor: guess schedule
             if lo <= o <= hi or (o <= lo < 2 * o):
                 self.instances.append(StreamingCoresetInstance(
                     params, o, self.grids, self.shared,
@@ -531,7 +531,7 @@ class StreamingCoreset:
         vh = self.shared.stacked_h.values_np(uniq)[:, inverse]
         vhp = self.shared.stacked_hp.values_np(uniq)[:, inverse]
         vhh = self.shared.stacked_hhat.values_np(uniq)[:, inverse]
-        for inst in self.instances:
+        for inst in self.instances:  # scalar-ok: per instance per batch
             inst.update_batch_arrays(pkeys, cell_keys, signs, vh, vhp, vhh)
         if self._pilot_sampler is not None:
             self._pilot_sampler.update_many(pkeys, signs)
@@ -561,7 +561,7 @@ class StreamingCoreset:
     def _apply_keyed(self, pkey: int, entry, sign: int) -> None:
         """Feed one keyed update into every instance plus the pilot sampler."""
         cell_keys, vh, vhp, vhh = entry
-        for inst in self.instances:
+        for inst in self.instances:  # scalar-ok: scalar reference path, per instance
             inst.update_with_values(pkey, cell_keys, sign, vh, vhp, vhh)
         if self._pilot_sampler is not None:
             self._pilot_sampler.update(pkey, sign)
@@ -586,7 +586,7 @@ class StreamingCoreset:
         order = self.instances if self.prefer == "smallest" else self.instances[::-1]
         cap = self._pilot_upper_bound()
         deferred = []
-        for inst in order:
+        for inst in order:  # scalar-ok: finalize: per guess
             if cap is not None and inst.o > cap:
                 deferred.append(inst)  # above the OPT estimate: try last
                 continue
@@ -594,7 +594,7 @@ class StreamingCoreset:
                 return inst.finalize(), inst
             except FailedConstruction as exc:
                 last = exc.reason
-        for inst in deferred:
+        for inst in deferred:  # scalar-ok: finalize: per guess
             try:
                 return inst.finalize(), inst
             except FailedConstruction as exc:

@@ -38,6 +38,8 @@ def spawn_rng(seed: int, label: str = "") -> np.random.Generator:
 def as_rng(seed_or_rng: "int | np.random.Generator | None") -> np.random.Generator:
     """Coerce an int seed, a Generator, or None into a Generator."""
     if seed_or_rng is None:
+        # repro-lint: disable=DET101 passing None is the caller's explicit
+        # opt-in to OS entropy (exploratory runs); every repro path seeds.
         return np.random.default_rng()
     if isinstance(seed_or_rng, np.random.Generator):
         return seed_or_rng

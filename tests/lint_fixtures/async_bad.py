@@ -1,0 +1,16 @@
+# repro-lint: scope=async
+"""Fixture: event-loop hazards inside ``async def``."""
+
+
+async def handle_insert(registry, arr):
+    return registry.insert("default", arr)   # ASYNC301: sketch work on loop
+
+
+async def handle_dump(payload, fh):
+    json.dump(payload, fh)                   # ASYNC301: blocking file I/O
+    open("state.bin")                        # ASYNC301: blocking open
+
+
+async def handle_locked(self, req):
+    with self._lock:
+        return await self.dispatch(req)      # ASYNC302: await under lock

@@ -1,0 +1,23 @@
+# repro-lint: scope=async
+"""Fixture: the sanctioned patterns — clean."""
+
+
+async def handle_insert(registry, arr):
+    return await asyncio.to_thread(registry.insert, "default", arr)
+
+
+async def handle_combined(registry):
+    def _payload():                          # nested sync def: off-loop
+        return registry.overview(), registry.live_count()
+
+    rows, live = await asyncio.to_thread(_payload)
+    return rows, live
+
+
+async def handle_locked(self, req):
+    async with self._gate:                   # async lock: awaiting is fine
+        return await self.dispatch(req)
+
+
+def sync_helpers_block_freely(registry):
+    return registry.stats("default")

@@ -1,0 +1,5 @@
+"""Fixture: unparseable on purpose (LINT000)."""
+
+
+def broken(:
+    pass

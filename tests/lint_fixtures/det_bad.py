@@ -1,0 +1,32 @@
+# repro-lint: scope=det
+"""Fixture: every DET code fires at least once.  Never imported — the
+linter only parses; undefined names are deliberate."""
+
+
+def unseeded_draws():
+    a = random.random()                # DET101: global stdlib RNG
+    b = np.random.randint(0, 10)       # DET101: numpy global state
+    rng = np.random.default_rng()      # DET101: no-arg default_rng
+    return a, b, rng
+
+
+def wall_clock_stamp(record):
+    record["stamp"] = time.time()      # DET102: wall clock
+    return record
+
+
+def identity_key(obj):
+    return hash(obj)                   # DET103: PYTHONHASHSEED-dependent
+
+
+def serialize(d, s):
+    out = []
+    for k, v in d.items():             # DET104: unsorted dict view
+        out.append((k, v))
+    out.extend(x for x in s)
+    bad_set = {u for u in {1, 2, 3}}   # DET104: set literal iteration
+    return out, bad_set
+
+
+def truncated_threshold(phi, prime):
+    return int(phi * prime)            # DET105: float-truncated field value

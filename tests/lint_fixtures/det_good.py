@@ -1,0 +1,19 @@
+# repro-lint: scope=det
+"""Fixture: determinism-respecting counterparts of det_bad.py — clean."""
+
+
+def seeded_draws(seed):
+    return np.random.default_rng(seed)
+
+
+def serialize(d, s):
+    out = []
+    for k, v in sorted(d.items()):     # canonical order
+        out.append((k, v))
+    out.extend(sorted(s))
+    total = sum(d.values())            # order-insensitive reduction
+    return out, total
+
+
+def exact_threshold(phi_num, phi_den, prime):
+    return (phi_num * prime) // phi_den  # exact integer arithmetic

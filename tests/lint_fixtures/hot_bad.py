@@ -1,0 +1,16 @@
+# repro-lint: scope=hot
+"""Fixture: un-annotated scalar constructs in a (pretend) hot file."""
+
+
+def per_event_loop(events, sketch):
+    for ev in events:                  # HOT201: un-annotated for
+        sketch.update(ev)
+
+
+def spin(queue):
+    while queue:                       # HOT201: un-annotated while
+        queue.pop()
+
+
+def materialize(arr):
+    return set(arr.tolist())           # HOT202: un-annotated .tolist()

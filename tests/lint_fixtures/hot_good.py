@@ -1,0 +1,20 @@
+# repro-lint: scope=hot
+"""Fixture: annotated / vectorized counterparts of hot_bad.py — clean."""
+
+
+def per_level_loop(levels, sketch):
+    for lvl in levels:  # scalar-ok: per level, not per event
+        sketch.scatter(lvl)
+
+
+def drain(queue):
+    while queue:  # scalar-ok: shutdown drain
+        queue.pop()
+
+
+def materialize(arr):
+    return set(arr.tolist())  # scalar-ok: decode-time snapshot
+
+
+def comprehensions_are_fine(rows):
+    return [r * 2 for r in rows]

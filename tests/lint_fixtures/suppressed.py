@@ -1,0 +1,19 @@
+# repro-lint: scope=det
+"""Fixture: reasoned suppressions silence findings — lints clean."""
+
+
+def inline_form(d):
+    out = []
+    for k, v in d.items():  # repro-lint: disable=DET104 insertion order is the codec contract here
+        out.append((k, v))
+    return out
+
+
+def standalone_form(record):
+    # repro-lint: disable=DET102 benchmark-only timing, never serialized
+    record["stamp"] = time.time()
+    return record
+
+
+def family_form(phi, prime):
+    return int(phi * prime)  # repro-lint: disable=DET fixture demonstrating family-level suppression

@@ -1,0 +1,10 @@
+# repro-lint: scope=det
+"""Fixture: a reasonless directive suppresses nothing and is itself
+reported (LINT001)."""
+
+
+def no_reason_given(d):
+    out = []
+    for k, v in d.items():  # repro-lint: disable=DET104
+        out.append((k, v))
+    return out

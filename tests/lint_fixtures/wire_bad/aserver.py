@@ -1,0 +1,14 @@
+"""Fixture async server: handles ping/query/mystery plus an undeclared op."""
+
+
+def dispatch(req):
+    op = req["op"]
+    if op == "ping":
+        return {"pong": True}
+    if op == "query":
+        return {"result": None}
+    if op == "mystery":
+        return {"spooky": True}
+    if op == "extra":            # WIRE402: not in OPS
+        return {"oops": True}
+    raise ValueError(op)

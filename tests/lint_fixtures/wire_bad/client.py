@@ -1,0 +1,13 @@
+"""Fixture client: never sends 'mystery' (WIRE403); sends an undeclared
+'undeclared' (WIRE402)."""
+
+
+class Client:
+    def ping(self):
+        return self.request("ping")
+
+    def query(self):
+        return self.request("query")
+
+    def rogue(self):
+        return self.request("undeclared")

@@ -1,0 +1,3 @@
+"""Fixture protocol: three declared ops; 'mystery' has drifted."""
+
+OPS = ("ping", "query", "mystery")

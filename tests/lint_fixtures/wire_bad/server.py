@@ -1,0 +1,8 @@
+"""Fixture sync server: forgot 'query' and 'mystery' (WIRE401)."""
+
+
+def dispatch(req):
+    op = req["op"]
+    if op == "ping":
+        return {"pong": True}
+    raise ValueError(op)

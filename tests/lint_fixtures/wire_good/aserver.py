@@ -1,0 +1,10 @@
+"""Fixture async server: handles exactly the declared ops."""
+
+
+def dispatch(req):
+    op = req["op"]
+    if op == "ping":
+        return {"pong": True}
+    if op == "query":
+        return {"result": None}
+    raise ValueError(op)

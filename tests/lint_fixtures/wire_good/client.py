@@ -1,0 +1,9 @@
+"""Fixture client: reaches every declared op."""
+
+
+class Client:
+    def ping(self):
+        return self.request("ping")
+
+    def query(self):
+        return self.request("query")

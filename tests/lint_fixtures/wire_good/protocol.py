@@ -1,0 +1,3 @@
+"""Fixture protocol: two ops, consistently implemented everywhere."""
+
+OPS = ("ping", "query")

@@ -1,0 +1,10 @@
+"""Fixture sync server: handles exactly the declared ops."""
+
+
+def dispatch(req):
+    op = req["op"]
+    if op in ("ping",):
+        return {"pong": True}
+    if op == "query":
+        return {"result": None}
+    raise ValueError(op)

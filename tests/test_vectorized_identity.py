@@ -11,7 +11,6 @@ loops from creeping back into the hot files.
 from __future__ import annotations
 
 import json
-import re
 from fractions import Fraction
 from pathlib import Path
 
@@ -327,33 +326,22 @@ class TestNonIntegralRejection:
 
 
 # --------------------------------------------------------------------------
-# Satellite 5 — lint guard: no per-event Python loops in the hot files.
+# Lint guard: no per-event Python in the hot files (delegates to the HOT
+# rule of ``repro lint``, the AST-accurate successor of the old regex scan —
+# it also sees `.tolist()` calls and multi-line loop headers, and covers all
+# six vectorized files instead of three).
 # --------------------------------------------------------------------------
-HOT_FILES = (
-    "src/repro/hashing/kwise.py",
-    "src/repro/streaming/sketch.py",
-    "src/repro/streaming/storing.py",
-)
-
-#: A statement loop: `for ...:` / `while ...:` optionally followed by a
-#: comment.  Comprehension clauses don't end with a colon and are exempt.
-_LOOP = re.compile(r"^\s*(for|while)\b.*:\s*(#.*)?$")
-
-
 class TestNoScalarLoopsInHotPath:
-    @pytest.mark.parametrize("rel", HOT_FILES)
-    def test_every_loop_is_annotated(self, rel):
-        """Every statement loop in the vectorized hot files must carry a
-        ``# scalar-ok: <reason>`` marker — the reviewable assertion that it
-        is NOT per-event work (decode, construction, per-coefficient, ...).
-        A new un-annotated loop fails here before it fails the benchmark."""
+    def test_hot_rule_clean_on_hot_files(self):
+        """Every statement loop / ``.tolist()`` in the vectorized hot files
+        must carry a ``# scalar-ok: <reason>`` marker — the reviewable
+        assertion that it is NOT per-event work (decode, construction,
+        per-coefficient, ...).  A new un-annotated loop fails here before it
+        fails the benchmark."""
+        from repro.analysis_lint import HOT_FILES, run_lint
+
         root = Path(__file__).resolve().parents[1]
-        offenders = []
-        for i, line in enumerate((root / rel).read_text().splitlines(), 1):
-            if _LOOP.match(line) and "scalar-ok" not in line:
-                offenders.append(f"{rel}:{i}: {line.strip()}")
-        assert not offenders, (
-            "un-annotated loops in vectorized hot path (mark intentional "
-            "scalar loops with '# scalar-ok: <reason>'):\n"
-            + "\n".join(offenders)
-        )
+        paths = [root / "src" / rel for rel in HOT_FILES]
+        assert all(p.is_file() for p in paths), paths
+        result = run_lint(paths, select=["HOT"], root=root)
+        assert result.clean, "\n".join(f.render() for f in result.findings)
