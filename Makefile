@@ -3,7 +3,7 @@
 PYTHON ?= python
 
 .PHONY: install test test-verbose bench bench-smoke bench-tenants \
-	bench-tenants-smoke examples artifacts lint lint-json clean
+	bench-tenants-smoke chaos-smoke examples artifacts lint lint-json clean
 
 install:
 	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -37,6 +37,13 @@ bench-tenants:
 # drive 3 tenants concurrently, assert isolation, shut down over the wire.
 bench-tenants-smoke:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_service_tenants.py --smoke
+
+# CI chaos smoke: boot `python -m repro serve --fault-plan ...` in a
+# subprocess, kill workers / reset connections / fail a checkpoint write
+# mid-run, and require the final state bit-identical to a fault-free
+# reference (see benchmarks/bench_service_chaos.py).
+chaos-smoke:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_service_chaos.py --smoke
 
 examples:
 	for f in examples/*.py; do echo "== $$f"; $(PYTHON) $$f || exit 1; done

@@ -136,6 +136,11 @@ def build_parser() -> argparse.ArgumentParser:
     srv.add_argument("--max-mb-per-tenant", type=float, default=None,
                      metavar="MB", help="per-tenant ingest quota in MiB of "
                                         "nominal encoded volume")
+    srv.add_argument("--fault-plan", default=None, metavar="PLAN",
+                     help="chaos testing: install a seeded fault-injection "
+                          "plan (JSON file path or inline JSON) before "
+                          "serving; the REPRO_FAULT_PLAN environment "
+                          "variable is the no-flag equivalent")
 
     c = sub.add_parser("client", help="send one request to a running service")
     c.add_argument("op", choices=["ping", "insert", "delete", "query",
@@ -292,7 +297,15 @@ def _cmd_info(args) -> int:
 
 
 def _cmd_serve(args) -> int:
-    from repro.service import ServiceConfig
+    from repro.service import ServiceConfig, faults
+
+    if args.fault_plan:
+        plan = faults.install(faults.load_plan(args.fault_plan))
+        print(f"fault plan installed: {len(plan.rules)} rule(s), "
+              f"seed={plan.seed}", flush=True)
+    elif faults.install_from_env() is not None:
+        print(f"fault plan installed from ${faults.ENV_FAULT_PLAN}",
+              flush=True)
 
     config = ServiceConfig(
         k=args.k, d=args.d, delta=args.delta, r=args.r, eps=args.eps,

@@ -113,6 +113,18 @@ def atomic_write_json(path, obj) -> None:
             fh.flush()
             os.fsync(fh.fileno())
         os.replace(tmp, path)
+        # fsync the file's data is not enough: the *rename* lives in the
+        # directory, and a crash between replace and the directory entry
+        # reaching disk can resurrect the old file name with the new one
+        # gone.  Sync the parent directory so the swap itself is durable.
+        try:
+            dfd = os.open(path.parent, os.O_RDONLY)
+            try:
+                os.fsync(dfd)
+            finally:
+                os.close(dfd)
+        except OSError:  # pragma: no cover - fs without directory fsync
+            pass
     finally:
         if tmp.exists():
             tmp.unlink()

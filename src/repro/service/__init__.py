@@ -14,16 +14,31 @@ Layering: ``state`` (codec) → ``shards`` (ingest) → ``engine`` (queries)
 → ``tenants`` (multi-stream registry) → ``protocol``/``aserver``/
 ``server``/``client`` (wire).  Everything below the wire layer is
 importable and testable without opening a socket.
+
+Robustness rides across every layer: :mod:`repro.service.faults` injects
+deterministic, seeded failures at named points throughout the stack,
+:mod:`repro.service.supervisor` respawns dead shard workers and replays
+their journaled batches bit-identically, the client retries transport
+faults with sequence-numbered idempotent mutations, and the registry's
+per-tenant circuit breakers degrade failing tenants instead of letting
+them brown out the rest.
 """
 
+from repro.service import faults
 from repro.service.aserver import (
     AsyncClusteringServer,
     serve_forever_async,
     start_async_server,
 )
-from repro.service.client import ServiceClient
+from repro.service.client import (
+    ServiceClient,
+    ServiceDegraded,
+    ServiceError,
+    ServiceUnavailable,
+)
 from repro.service.engine import ClusteringService, QueryResult, ServiceConfig
 from repro.service.eviction import EvictionPolicy, LRUEvictionPolicy
+from repro.service.faults import FaultPlan, FaultRule, InjectedFault
 from repro.service.server import ClusteringServer, serve_forever, start_server
 from repro.service.shards import ShardedIngest
 from repro.service.state import (
@@ -31,24 +46,42 @@ from repro.service.state import (
     sharded_state_to_dict,
     streaming_state_from_dict,
     streaming_state_to_dict,
+    write_checkpoint,
 )
-from repro.service.tenants import QuotaExceeded, TenantQuota, TenantRegistry
-from repro.service.workers import WorkerPoolIngest
+from repro.service.supervisor import CircuitBreaker, SupervisedWorkerPool
+from repro.service.tenants import (
+    QuotaExceeded,
+    TenantDegraded,
+    TenantQuota,
+    TenantRegistry,
+)
+from repro.service.workers import WorkerDied, WorkerPoolIngest
 
 __all__ = [
     "AsyncClusteringServer",
+    "CircuitBreaker",
     "ClusteringServer",
     "ClusteringService",
     "EvictionPolicy",
+    "FaultPlan",
+    "FaultRule",
+    "InjectedFault",
     "LRUEvictionPolicy",
     "QueryResult",
     "QuotaExceeded",
     "ServiceClient",
     "ServiceConfig",
+    "ServiceDegraded",
+    "ServiceError",
+    "ServiceUnavailable",
     "ShardedIngest",
+    "SupervisedWorkerPool",
+    "TenantDegraded",
     "TenantQuota",
     "TenantRegistry",
+    "WorkerDied",
     "WorkerPoolIngest",
+    "faults",
     "serve_forever",
     "serve_forever_async",
     "sharded_state_from_dict",
@@ -57,4 +90,5 @@ __all__ = [
     "start_server",
     "streaming_state_from_dict",
     "streaming_state_to_dict",
+    "write_checkpoint",
 ]

@@ -23,18 +23,27 @@ import asyncio
 import threading
 
 from repro.service.engine import ServiceConfig
+from repro.service.faults import active_plan, fault_point
 from repro.service.protocol import (
     DEFAULT_MAX_REQUEST_BYTES,
     MAX_LINE_BYTES,
+    IdempotencyCache,
     ProtocolError,
     decode_line,
+    degraded_response,
     encode_message,
     error_response,
     ok_response,
+    parse_idempotency,
     parse_points,
     parse_stream_id,
 )
-from repro.service.tenants import QuotaExceeded, TenantQuota, TenantRegistry
+from repro.service.tenants import (
+    QuotaExceeded,
+    TenantDegraded,
+    TenantQuota,
+    TenantRegistry,
+)
 from repro.utils.validation import FailedConstruction
 
 __all__ = ["AsyncClusteringServer", "start_async_server", "serve_forever_async"]
@@ -57,6 +66,7 @@ class AsyncClusteringServer:
         self._server: asyncio.AbstractServer | None = None
         self._stop_event: asyncio.Event | None = None
         self._loop: asyncio.AbstractEventLoop | None = None
+        self._idem = IdempotencyCache()
 
     # ------------------------------------------------------------ lifecycle
     async def start(self) -> None:
@@ -111,8 +121,24 @@ class AsyncClusteringServer:
                     return
                 if not line.strip():
                     continue
-                response, stop = await self._dispatch(line)
-                writer.write(encode_message(response))
+                response, stop, op = await self._dispatch(line)
+                if response is None:
+                    # Injected connection reset: if the request executed,
+                    # its effects stand — only the reply is lost, exactly
+                    # like a real mid-reply connection failure.
+                    return
+                act = fault_point("server.slow", op=op)
+                if act is not None:
+                    await asyncio.sleep(act.delay_s)
+                frame = encode_message(response)
+                act = fault_point("server.short", op=op)
+                if act is not None:
+                    # Truncated reply: the client reads garbage JSON and
+                    # must treat the connection as poisoned.
+                    writer.write(frame[: max(1, len(frame) // 2)])
+                    await writer.drain()
+                    return
+                writer.write(frame)
                 await writer.drain()
                 if stop:
                     # Response is flushed; now let serve() unwind.
@@ -128,19 +154,37 @@ class AsyncClusteringServer:
                 pass
 
     # -------------------------------------------------------------- dispatch
-    async def _dispatch(self, line: bytes) -> tuple[dict, bool]:
-        """Route one request line; returns (response, stop_server)."""
+    async def _dispatch(self, line: bytes) -> tuple[dict | None, bool, str | None]:
+        """Route one request line; returns (response, stop_server, op).
+
+        A ``None`` response asks the connection handler to drop the link
+        without replying (the injected ``server.reset`` fault): ``"pre"``
+        mode drops the request before execution, the default drops only
+        the reply *after* the request took effect — the case idempotent
+        retries exist for.
+        """
+        op: str | None = None
         try:
             req = decode_line(line)
-            return await self._execute(req)
+            op = req["op"]
+            reset = fault_point("server.reset", op=op)
+            if reset is not None and reset.mode == "pre":
+                return None, False, op
+            response, stop = await self._execute(req)
+            if reset is not None:
+                return None, False, op
+            return response, stop, op
         except ProtocolError as exc:
-            return error_response(str(exc)), False
+            return error_response(str(exc)), False, op
+        except TenantDegraded as exc:
+            return degraded_response(exc.stream_id, exc.retry_after_s,
+                                     str(exc)), False, op
         except QuotaExceeded as exc:
-            return error_response(f"quota exceeded: {exc}"), False
+            return error_response(f"quota exceeded: {exc}"), False, op
         except FailedConstruction as exc:
-            return error_response(f"construction failed: {exc.reason}"), False
+            return error_response(f"construction failed: {exc.reason}"), False, op
         except Exception as exc:  # surface, don't kill the connection
-            return error_response(f"{type(exc).__name__}: {exc}"), False
+            return error_response(f"{type(exc).__name__}: {exc}"), False, op
 
     async def _execute(self, req: dict) -> tuple[dict, bool]:
         registry = self.registry
@@ -161,14 +205,25 @@ class AsyncClusteringServer:
                 tenants=rows,
                 live=live,
                 max_live_tenants=registry.max_live_tenants,
+                eviction_failures=list(registry.eviction_failures),
             ), False
         stream_id = parse_stream_id(req)
         config: ServiceConfig = registry.config
         if op in ("insert", "delete"):
+            idem = parse_idempotency(req)
+            if idem is not None:
+                cached = self._idem.check(*idem)
+                if cached is not None:
+                    # A retry of a mutation we already applied: answer from
+                    # the cache, touch nothing — no double count.
+                    return cached, False
             arr = parse_points(req, config.d, config.delta)
             fn = registry.insert if op == "insert" else registry.delete
             payload = await asyncio.to_thread(fn, stream_id, arr)
-            return ok_response(stream_id=stream_id, **payload), False
+            response = ok_response(stream_id=stream_id, **payload)
+            if idem is not None:
+                self._idem.record(idem[0], idem[1], response)
+            return response, False
         if op == "query":
             slack = req.get("capacity_slack")
             result, hit = await asyncio.to_thread(
@@ -190,6 +245,10 @@ class AsyncClusteringServer:
             return ok_response(stream_id=stream_id, **info), False
         if op == "stats":
             stats = await asyncio.to_thread(registry.stats, stream_id)
+            plan = active_plan()
+            if plan is not None:
+                stats["fault_plan"] = dict(plan.summary(),
+                                           fire_counts=plan.fire_counts())
             return ok_response(stats=stats), False
         raise ProtocolError(f"unhandled op {op!r}")  # unreachable; decode_line vets
 

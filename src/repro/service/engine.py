@@ -18,14 +18,30 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.io import atomic_write_json, params_to_dict, read_json
+from repro.core.io import params_to_dict, read_json
 from repro.core.params import CoresetParams
 from repro.service.shards import ShardedIngest
-from repro.service.state import STATE_FORMAT_VERSION, sharded_state_from_dict
+from repro.service.state import (
+    STATE_FORMAT_VERSION,
+    sharded_state_from_dict,
+    write_checkpoint,
+)
 from repro.solvers.capacitated_lloyd import CapacitatedKClustering
 from repro.utils.rng import derive_seed
 
 __all__ = ["ServiceConfig", "QueryResult", "ClusteringService"]
+
+
+def _pool_class(config: "ServiceConfig"):
+    """The worker-pool implementation a config asks for (lazy imports keep
+    engine importable without spawning multiprocessing machinery)."""
+    if config.supervise:
+        from repro.service.supervisor import SupervisedWorkerPool
+
+        return SupervisedWorkerPool
+    from repro.service.workers import WorkerPoolIngest
+
+    return WorkerPoolIngest
 
 
 @dataclass(frozen=True)
@@ -45,6 +61,12 @@ class ServiceConfig:
     #: bit-identical either way — workers build their shards from the same
     #: ``(params, seed)``, and the merge fan-in is exact.
     workers: int = 0
+    #: With workers > 0: run the pool under supervision
+    #: (:class:`~repro.service.supervisor.SupervisedWorkerPool` — dead
+    #: workers are respawned from their per-shard checkpoint and the
+    #: journaled batches replayed, bit-identically).  False = the plain
+    #: pool, where a dead worker is a hard error.
+    supervise: bool = True
     seed: int = 0
     backend: str = "exact"
     #: Uniform capacity as a multiple of total_weight/k at query time.
@@ -115,9 +137,8 @@ class ClusteringService:
         self.params = config.make_params()
         if ingest is None:
             if config.workers > 0:
-                from repro.service.workers import WorkerPoolIngest
-
-                ingest = WorkerPoolIngest(
+                pool_cls = _pool_class(config)
+                ingest = pool_cls(
                     self.params, num_workers=config.workers, seed=config.seed,
                     backend=config.backend, o_range=config.o_range,
                 )
@@ -232,7 +253,7 @@ class ClusteringService:
                     raise ValueError(
                         f"checkpoint extra keys collide with envelope: {sorted(overlap)}")
                 payload.update(extra)
-            atomic_write_json(path, payload)
+            write_checkpoint(path, payload)
             return {"path": str(path), "version": self.ingest.version,
                     "events": self.ingest.num_events}
 
@@ -261,9 +282,7 @@ class ClusteringService:
             )
         config = ServiceConfig.from_dict(payload["config"])
         if config.workers > 0:
-            from repro.service.workers import WorkerPoolIngest
-
-            ingest = WorkerPoolIngest.from_state_dict(payload["ingest"])
+            ingest = _pool_class(config).from_state_dict(payload["ingest"])
             if ingest.num_shards != config.workers:
                 ingest.close()
                 raise ValueError(
@@ -326,5 +345,12 @@ class ClusteringService:
             if extra is not None:
                 base["queue_depth"] = extra["queue_depth"]
                 base["worker_stats"] = extra["workers"]
+                # Surface every other backend extra (supervision flags,
+                # restart totals, recovery events) without enumerating them
+                # here — the backend owns that vocabulary.
+                for key, value in sorted(extra.items()):
+                    if key in ("mode", "space_bits", "queue_depth", "workers"):
+                        continue
+                    base.setdefault(key, value)
             return base
 

@@ -18,6 +18,8 @@ server.
 from __future__ import annotations
 
 import json
+import threading
+from collections import OrderedDict
 
 import numpy as np
 
@@ -26,14 +28,19 @@ from repro.utils.validation import coerce_integral_rows
 __all__ = [
     "DEFAULT_MAX_REQUEST_BYTES",
     "DEFAULT_STREAM_ID",
+    "IDEMPOTENCY_CACHE_CLIENTS",
+    "IdempotencyCache",
+    "MAX_CLIENT_ID_CHARS",
     "MAX_LINE_BYTES",
     "MAX_STREAM_ID_CHARS",
     "OPS",
     "ProtocolError",
     "decode_line",
+    "degraded_response",
     "encode_message",
     "error_response",
     "ok_response",
+    "parse_idempotency",
     "parse_points",
     "parse_stream_id",
 ]
@@ -59,6 +66,14 @@ DEFAULT_STREAM_ID = "default"
 #: Upper bound on ``stream_id`` length — ids become checkpoint file names
 #: (percent-encoded), and most filesystems cap names at 255 bytes.
 MAX_STREAM_ID_CHARS = 128
+
+#: Upper bound on ``client_id`` length (it keys the server's replay cache).
+MAX_CLIENT_ID_CHARS = 64
+
+#: Distinct client ids the server-side replay cache retains (LRU).  Each
+#: entry is one (seq, response) pair, so memory is bounded regardless of
+#: how many short-lived clients connect.
+IDEMPOTENCY_CACHE_CLIENTS = 1024
 
 
 class ProtocolError(ValueError):
@@ -134,6 +149,82 @@ def decode_line(line: bytes) -> dict:
     return obj
 
 
+def parse_idempotency(req: dict) -> tuple[str, int] | None:
+    """Validate a request's optional idempotency pair (``client_id``, ``seq``).
+
+    A client that retries mutating ops after a connection loss cannot know
+    whether the lost request was applied before the cut or never arrived.
+    Tagging each *logical* mutation with a stable ``client_id`` and a
+    monotonically increasing ``seq`` lets the server answer a replayed
+    request from its cache instead of applying it twice.  Both fields must
+    appear together; requests without them are applied unconditionally
+    (the pre-retry protocol unchanged).
+    """
+    cid, seq = req.get("client_id"), req.get("seq")
+    if cid is None and seq is None:
+        return None
+    if cid is None or seq is None:
+        raise ProtocolError("'client_id' and 'seq' must be sent together")
+    if not isinstance(cid, str) or not cid:
+        raise ProtocolError("'client_id' must be a non-empty string")
+    if len(cid) > MAX_CLIENT_ID_CHARS:
+        raise ProtocolError(
+            f"'client_id' exceeds {MAX_CLIENT_ID_CHARS} characters")
+    if any(ord(c) < 0x20 or ord(c) == 0x7F for c in cid):
+        raise ProtocolError("'client_id' must not contain control characters")
+    if not isinstance(seq, int) or isinstance(seq, bool) or seq < 0:
+        raise ProtocolError("'seq' must be a non-negative integer")
+    return cid, seq
+
+
+class IdempotencyCache:
+    """Per-client replay cache for sequence-numbered mutating requests.
+
+    Stores the most recent ``(seq, response)`` per client id: a retried
+    request with the *same* seq gets the cached response back (stamped
+    ``replayed: true``) without touching any shard, so a mid-batch
+    connection reset followed by a client retry cannot double-count
+    events.  One entry per client suffices because the client assigns seqs
+    monotonically and never pipelines mutations — a replay is always of
+    the latest logical request.  Client ids are evicted LRU beyond
+    :data:`IDEMPOTENCY_CACHE_CLIENTS`.  Thread-safe (the sync server
+    handles connections on threads).
+    """
+
+    def __init__(self, max_clients: int = IDEMPOTENCY_CACHE_CLIENTS):
+        self._max = int(max_clients)
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[str, tuple[int, dict]] = OrderedDict()
+
+    def check(self, cid: str, seq: int) -> dict | None:
+        """The cached response if (cid, seq) was already answered, else None.
+
+        A seq *lower* than the cached one is a protocol violation (the
+        single-entry cache can no longer vouch for it) and is rejected
+        rather than silently re-applied.
+        """
+        with self._lock:
+            entry = self._entries.get(cid)
+            if entry is None:
+                return None
+            self._entries.move_to_end(cid)
+            last_seq, response = entry
+            if seq == last_seq:
+                return dict(response, replayed=True)
+            if seq < last_seq:
+                raise ProtocolError(
+                    f"stale seq {seq} for client {cid!r} (last was {last_seq})")
+            return None
+
+    def record(self, cid: str, seq: int, response: dict) -> None:
+        """Remember the response for (cid, seq), evicting LRU clients."""
+        with self._lock:
+            self._entries[cid] = (seq, dict(response))
+            self._entries.move_to_end(cid)
+            while len(self._entries) > self._max:
+                self._entries.popitem(last=False)
+
+
 def ok_response(**payload) -> dict:
     """A success response carrying ``payload``."""
     return {"ok": True, **payload}
@@ -142,3 +233,19 @@ def ok_response(**payload) -> dict:
 def error_response(message: str) -> dict:
     """A failure response with a human-readable reason."""
     return {"ok": False, "error": str(message)}
+
+
+def degraded_response(stream_id: str, retry_after_s: float, message: str) -> dict:
+    """A structured failure telling the client a tenant's circuit is open.
+
+    Distinguished from :func:`error_response` by ``degraded: true`` plus a
+    machine-readable ``retry_after_s`` so clients can back off instead of
+    hammering a tenant that is repeatedly failing.
+    """
+    return {
+        "ok": False,
+        "error": str(message),
+        "degraded": True,
+        "stream_id": stream_id,
+        "retry_after_s": float(retry_after_s),
+    }

@@ -19,17 +19,21 @@ from __future__ import annotations
 
 import socketserver
 import threading
+import time
 
 from repro.service.engine import ClusteringService, ServiceConfig
+from repro.service.faults import active_plan, fault_point
 from repro.service.protocol import (
     DEFAULT_MAX_REQUEST_BYTES,
     DEFAULT_STREAM_ID,
     MAX_LINE_BYTES,
+    IdempotencyCache,
     ProtocolError,
     decode_line,
     encode_message,
     error_response,
     ok_response,
+    parse_idempotency,
     parse_points,
     parse_stream_id,
 )
@@ -62,8 +66,21 @@ class _Handler(socketserver.StreamRequestHandler):
                 return
             if not line.strip():
                 continue
-            response, stop = self.server.dispatch(line)
-            self.wfile.write(encode_message(response))
+            response, stop, op = self.server.dispatch(line)
+            if response is None:
+                # Injected connection reset: executed effects stand, the
+                # reply is dropped, the connection closes.
+                return
+            act = fault_point("server.slow", op=op)
+            if act is not None:
+                time.sleep(act.delay_s)
+            frame = encode_message(response)
+            act = fault_point("server.short", op=op)
+            if act is not None:
+                self.wfile.write(frame[: max(1, len(frame) // 2)])
+                self.wfile.flush()
+                return
+            self.wfile.write(frame)
             self.wfile.flush()
             if stop:
                 return
@@ -84,19 +101,33 @@ class ClusteringServer(socketserver.ThreadingTCPServer):
         self.max_request_bytes = min(int(max_request_bytes), MAX_LINE_BYTES)
         if self.max_request_bytes < 1024:
             raise ValueError("max_request_bytes must be at least 1 KiB")
+        self._idem = IdempotencyCache()
 
     # ------------------------------------------------------------- dispatch
-    def dispatch(self, line: bytes) -> tuple[dict, bool]:
-        """Route one request line; returns (response, close_connection)."""
+    def dispatch(self, line: bytes) -> tuple[dict | None, bool, str | None]:
+        """Route one request line; returns (response, close_connection, op).
+
+        A ``None`` response asks the handler to drop the connection without
+        replying (injected ``server.reset``; see the async server's
+        ``_dispatch`` for the pre/post semantics).
+        """
+        op: str | None = None
         try:
             req = decode_line(line)
-            return self._execute(req)
+            op = req["op"]
+            reset = fault_point("server.reset", op=op)
+            if reset is not None and reset.mode == "pre":
+                return None, False, op
+            response, stop = self._execute(req)
+            if reset is not None:
+                return None, False, op
+            return response, stop, op
         except ProtocolError as exc:
-            return error_response(str(exc)), False
+            return error_response(str(exc)), False, op
         except FailedConstruction as exc:
-            return error_response(f"construction failed: {exc.reason}"), False
+            return error_response(f"construction failed: {exc.reason}"), False, op
         except Exception as exc:  # surface, don't kill the worker thread
-            return error_response(f"{type(exc).__name__}: {exc}"), False
+            return error_response(f"{type(exc).__name__}: {exc}"), False, op
 
     def _execute(self, req: dict) -> tuple[dict, bool]:
         service = self.service
@@ -116,14 +147,20 @@ class ClusteringServer(socketserver.ThreadingTCPServer):
                 f"this is the single-tenant --sync server; only the "
                 f"{DEFAULT_STREAM_ID!r} stream exists here.  Run the default "
                 "(async) `repro serve` for named streams")
-        if op == "insert":
-            n = service.insert(
-                parse_points(req, service.params.d, service.params.delta))
-            return ok_response(applied=n, version=service.ingest.version), False
-        if op == "delete":
-            n = service.delete(
-                parse_points(req, service.params.d, service.params.delta))
-            return ok_response(applied=n, version=service.ingest.version), False
+        if op in ("insert", "delete"):
+            idem = parse_idempotency(req)
+            if idem is not None:
+                cached = self._idem.check(*idem)
+                if cached is not None:
+                    # Retry of an already-applied mutation: answer from the
+                    # cache, touch no shard — no double count.
+                    return cached, False
+            pts = parse_points(req, service.params.d, service.params.delta)
+            n = (service.insert(pts) if op == "insert" else service.delete(pts))
+            response = ok_response(applied=n, version=service.ingest.version)
+            if idem is not None:
+                self._idem.record(idem[0], idem[1], response)
+            return response, False
         if op == "query":
             slack = req.get("capacity_slack")
             result, hit = service.query(
@@ -140,7 +177,12 @@ class ClusteringServer(socketserver.ThreadingTCPServer):
             return ok_response(version=service.ingest.version,
                                events=service.ingest.num_events), False
         if op == "stats":
-            return ok_response(stats=service.stats()), False
+            stats = service.stats()
+            plan = active_plan()
+            if plan is not None:
+                stats["fault_plan"] = dict(plan.summary(),
+                                           fire_counts=plan.fire_counts())
+            return ok_response(stats=stats), False
         if op == "shutdown":
             # Shut down asynchronously: serve_forever() must not be joined
             # from a handler thread it itself is blocking on.

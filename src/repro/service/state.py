@@ -27,7 +27,8 @@ from __future__ import annotations
 from collections import Counter
 from urllib.parse import quote, unquote
 
-from repro.core.io import params_from_dict, params_to_dict
+from repro.core.io import atomic_write_json, params_from_dict, params_to_dict
+from repro.service.faults import fault_point
 from repro.streaming.storing import ExactStoring, SketchStoring
 from repro.streaming.streaming_coreset import StreamingCoreset
 
@@ -40,6 +41,7 @@ __all__ = [
     "sharded_state_from_dict",
     "tenant_checkpoint_filename",
     "tenant_id_from_filename",
+    "write_checkpoint",
 ]
 
 STATE_FORMAT_VERSION = 1
@@ -67,6 +69,26 @@ def tenant_id_from_filename(name: str) -> str | None:
             and name.endswith(_TENANT_FILE_SUFFIX)):
         return None
     return unquote(name[len(_TENANT_FILE_PREFIX): -len(_TENANT_FILE_SUFFIX)])
+
+
+# ------------------------------------------------------------- durability
+def write_checkpoint(path, payload: dict) -> None:
+    """Crash-safe checkpoint write: every service checkpoint goes through
+    here (engine checkpoints, tenant eviction, close-time persistence).
+
+    Durability is :func:`~repro.core.io.atomic_write_json` — temp file in
+    the target directory, ``fsync`` of the file *and* of the directory
+    entry, then ``os.replace`` — so a reader (or a crash at any byte) sees
+    either the previous complete checkpoint or the new complete one, never
+    a torn mix.  The ``checkpoint.write`` fault point injects an
+    ``OSError`` *before* any bytes are written, modelling a full disk or
+    dead volume: the previous checkpoint must survive such a failure
+    untouched, which the fault tests assert.
+    """
+    act = fault_point("checkpoint.write", path=str(path))
+    if act is not None:
+        raise OSError(f"injected checkpoint write failure: {path}")
+    atomic_write_json(path, payload)
 
 
 # ---------------------------------------------------------------- storing

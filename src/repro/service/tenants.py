@@ -50,9 +50,10 @@ from repro.service.engine import ClusteringService, ServiceConfig
 from repro.service.eviction import EvictionPolicy, LRUEvictionPolicy
 from repro.service.protocol import DEFAULT_STREAM_ID
 from repro.service.state import tenant_checkpoint_filename, tenant_id_from_filename
+from repro.service.supervisor import CircuitBreaker
 from repro.utils.rng import derive_seed
 
-__all__ = ["QuotaExceeded", "TenantQuota", "TenantRegistry"]
+__all__ = ["QuotaExceeded", "TenantDegraded", "TenantQuota", "TenantRegistry"]
 
 
 class QuotaExceeded(RuntimeError):
@@ -66,6 +67,22 @@ class QuotaExceeded(RuntimeError):
     def __init__(self, stream_id: str, message: str):
         super().__init__(message)
         self.stream_id = stream_id
+
+
+class TenantDegraded(RuntimeError):
+    """A tenant's circuit breaker is open: its recent operations kept
+    failing, so further requests are rejected fast (without touching the
+    sketch) until the cooldown passes.  Mapped to the structured
+    ``degraded`` error envelope at the wire layer, which carries
+    ``retry_after_s`` so clients back off instead of hammering.
+    """
+
+    def __init__(self, stream_id: str, retry_after_s: float):
+        super().__init__(
+            f"stream {stream_id!r} is degraded (circuit open); "
+            f"retry in {retry_after_s:.2f}s")
+        self.stream_id = stream_id
+        self.retry_after_s = float(retry_after_s)
 
 
 @dataclass(frozen=True)
@@ -116,12 +133,21 @@ class TenantRegistry:
         Optional :class:`TenantQuota` applied to every tenant.
     policy:
         Victim-selection policy; defaults to :class:`LRUEvictionPolicy`.
+    breaker_threshold / breaker_cooldown_s:
+        Per-tenant circuit breaker: after ``breaker_threshold`` consecutive
+        failed operations a tenant is *degraded* — its requests are
+        rejected fast with :class:`TenantDegraded` for ``breaker_cooldown_s``
+        seconds, then a single probe request is let through (half-open).
+        Failures are counted per tenant, so one tenant's broken workload
+        (bad disk for its checkpoints, say) cannot brown-out the rest.
     """
 
     def __init__(self, config: ServiceConfig, tenants_dir=None,
                  max_live_tenants: int | None = None,
                  quota: TenantQuota | None = None,
-                 policy: EvictionPolicy | None = None):
+                 policy: EvictionPolicy | None = None,
+                 breaker_threshold: int = 3,
+                 breaker_cooldown_s: float = 5.0):
         if max_live_tenants is not None:
             if max_live_tenants < 1:
                 raise ValueError(
@@ -139,6 +165,12 @@ class TenantRegistry:
         self._records: dict[str, _TenantRecord] = {}
         self._lock = threading.RLock()
         self._closed = False
+        self._breaker_threshold = int(breaker_threshold)
+        self._breaker_cooldown_s = float(breaker_cooldown_s)
+        self._breakers: dict[str, CircuitBreaker] = {}
+        #: Bounded log of eviction checkpoints that failed to write (the
+        #: victim stays live; surfaced via ``tenants``/``stats``).
+        self.eviction_failures: list[dict] = []
 
     # ------------------------------------------------------------- configs
     def tenant_config(self, stream_id: str) -> ServiceConfig:
@@ -155,12 +187,28 @@ class TenantRegistry:
     def _tenant_path(self, stream_id: str) -> Path:
         return self.tenants_dir / tenant_checkpoint_filename(stream_id)
 
+    def _breaker(self, stream_id: str) -> CircuitBreaker:
+        """The tenant's circuit breaker (created on first touch).
+        Caller holds the registry lock."""
+        br = self._breakers.get(stream_id)
+        if br is None:
+            br = self._breakers[stream_id] = CircuitBreaker(
+                failure_threshold=self._breaker_threshold,
+                cooldown_s=self._breaker_cooldown_s)
+        return br
+
     # -------------------------------------------------------------- leases
     @contextmanager
     def _lease(self, stream_id: str):
         """Pin a tenant for one operation, loading (create or restore) it
         if cold.  Eviction happens on the way in, so the live count never
-        exceeds the budget by more than the concurrently pinned tenants."""
+        exceeds the budget by more than the concurrently pinned tenants.
+
+        The tenant's circuit breaker brackets the lease: an open circuit
+        rejects the operation before any sketch work, and the operation's
+        outcome (exception vs. clean return) feeds the breaker.  Quota
+        rejections and the degraded rejection itself are *not* failures —
+        they are the service working as intended."""
         with self._lock:
             if self._closed:
                 raise RuntimeError("tenant registry is closed")
@@ -169,13 +217,24 @@ class TenantRegistry:
                 rec = self._records[stream_id] = _TenantRecord(stream_id)
             rec.pins += 1
             self._policy.touch(stream_id)
+            breaker = self._breaker(stream_id)
         try:
-            if rec.service is None:
-                self._make_room(exclude=stream_id)
-            with rec.lock:
+            if not breaker.allow():
+                raise TenantDegraded(stream_id, breaker.retry_after_s())
+            try:
                 if rec.service is None:
-                    self._load_locked(rec)
-            yield rec
+                    self._make_room(exclude=stream_id)
+                with rec.lock:
+                    if rec.service is None:
+                        self._load_locked(rec)
+                yield rec
+            except (QuotaExceeded, TenantDegraded):
+                raise
+            except Exception:
+                breaker.record_failure()
+                raise
+            else:
+                breaker.record_success()
         finally:
             with self._lock:
                 rec.pins -= 1
@@ -206,6 +265,7 @@ class TenantRegistry:
         allowed to overshoot and heals on the next lease."""
         if self.max_live_tenants is None:
             return
+        failed: set[str] = set()  # victims whose checkpoint write failed this pass
         while True:
             with self._lock:
                 live = sum(1 for r in self._records.values()
@@ -213,7 +273,8 @@ class TenantRegistry:
                 excess = live - self.max_live_tenants + 1
                 evictable = [r.stream_id for r in self._records.values()
                              if r.service is not None and r.pins == 0
-                             and r.stream_id != exclude]
+                             and r.stream_id != exclude
+                             and r.stream_id not in failed]
                 victims = self._policy.victims(evictable, excess)
                 if not victims:
                     return
@@ -224,7 +285,20 @@ class TenantRegistry:
                     with self._lock:
                         busy = vrec.pins > 1
                     if not busy and vrec.service is not None:
-                        self._evict_locked(vrec)
+                        try:
+                            self._evict_locked(vrec)
+                        except OSError as exc:
+                            # Disk said no (full volume, injected fault).
+                            # The victim keeps its in-memory state — losing
+                            # it would lose events — and the budget is
+                            # allowed to overshoot; the next lease retries.
+                            failed.add(vrec.stream_id)
+                            with self._lock:
+                                if len(self.eviction_failures) < 100:
+                                    self.eviction_failures.append({
+                                        "stream_id": vrec.stream_id,
+                                        "error": str(exc),
+                                    })
             finally:
                 with self._lock:
                     vrec.pins -= 1
@@ -246,6 +320,10 @@ class TenantRegistry:
         service.close()
         rec.service = None
         rec.evictions += 1
+        with self._lock:
+            # Recency bookkeeping for a cold tenant is dead weight; its
+            # next touch re-registers it.
+            self._policy.forget(rec.stream_id)
 
     def evict(self, stream_id: str) -> bool:
         """Explicitly checkpoint one tenant to disk and drop it from memory
@@ -325,14 +403,22 @@ class TenantRegistry:
             return rec.service.query(capacity_slack=capacity_slack)
 
     def stats(self, stream_id: str) -> dict:
-        """One tenant's service counters plus registry-level metadata."""
+        """One tenant's service counters plus registry-level metadata
+        (including its circuit-breaker snapshot and any eviction-checkpoint
+        failures, so a degraded tenant is diagnosable over the wire)."""
         with self._lease(stream_id) as rec:
             stats = rec.service.stats()
+            with self._lock:
+                breaker = self._breaker(rec.stream_id).snapshot()
+                failures = [f for f in self.eviction_failures
+                            if f["stream_id"] == rec.stream_id]
             stats.update({
                 "stream_id": rec.stream_id,
                 "seed": rec.service.config.seed,
                 "evictions": rec.evictions,
                 "restores": rec.restores,
+                "breaker": breaker,
+                "eviction_failures": failures,
             })
             return stats
 
@@ -379,6 +465,11 @@ class TenantRegistry:
                     row = {"stream_id": sid, "live": False, **rec.last_known}
                 row["evictions"] = rec.evictions
                 row["restores"] = rec.restores
+                breaker = self._breakers.get(sid)
+                if breaker is not None:
+                    snap = breaker.snapshot()
+                    row["degraded"] = snap["state"] != "closed"
+                    row["breaker"] = snap
                 rows[sid] = row
         if self.tenants_dir is not None:
             for path in sorted(self.tenants_dir.iterdir()):

@@ -37,6 +37,7 @@ import numpy as np
 from repro.core.io import params_from_dict, params_to_dict
 from repro.core.params import CoresetParams
 from repro.grid.grids import PointCodec
+from repro.service.faults import InjectedFault, fault_point
 from repro.service.shards import _mix, _mix_array
 from repro.service.state import (
     STATE_FORMAT_VERSION,
@@ -49,7 +50,21 @@ from repro.streaming.stream import events_to_arrays
 from repro.streaming.streaming_coreset import StreamingCoreset
 from repro.utils.validation import check_stream_points, coerce_integral_rows
 
-__all__ = ["WorkerPoolIngest", "DEFAULT_QUEUE_BATCHES"]
+__all__ = ["WorkerDied", "WorkerPoolIngest", "DEFAULT_QUEUE_BATCHES"]
+
+
+class WorkerDied(RuntimeError):
+    """A shard worker process is gone (or reported a fatal error and
+    exited).  Carries enough context for a supervisor to rebuild the shard:
+    :class:`~repro.service.supervisor.SupervisedWorkerPool` catches this,
+    respawns the worker from its last per-shard checkpoint, and replays the
+    journaled batches; the plain pool surfaces it to the caller.
+    """
+
+    def __init__(self, shard: int, message: str, exitcode: int | None = None):
+        super().__init__(message)
+        self.shard = shard
+        self.exitcode = exitcode
 
 #: Bound on queued-but-unprocessed batches per worker; `apply_batch` blocks
 #: once a worker falls this far behind (backpressure instead of unbounded
@@ -114,6 +129,11 @@ def _worker_main(spec: dict, cmd_q, out_q) -> None:
                     "busy_s": busy_s,
                     "space_bits": shard.space_bits(),
                 }))
+            elif op == "crash":
+                # Injected soft failure (FaultPlan worker.kill mode="soft"):
+                # die the way a worker with a poisoned shard does — report
+                # an error, then exit — so recovery handles both shapes.
+                raise InjectedFault("worker.kill", "soft worker crash")
             elif op == "stop":
                 out_q.put(("stopped", events))
                 return
@@ -172,7 +192,8 @@ class WorkerPoolIngest:
         self._codec = PointCodec(params.delta, params.d)
         self._ctx = multiprocessing.get_context(start_method)
         self._closed = False
-        base_spec = {
+        self._queue_batches = max(1, int(queue_batches))
+        self._base_spec = {
             "params": params_to_dict(params),
             "seed": int(seed),
             "backend": backend,
@@ -180,23 +201,17 @@ class WorkerPoolIngest:
             "auto_pilot": auto_pilot,
             "state": None,
         }
-        self._cmd_queues = []
-        self._out_queues = []
-        self._procs = []
+        self._cmd_queues = [None] * num_workers
+        self._out_queues = [None] * num_workers
+        self._procs = [None] * num_workers
+        #: Times each worker slot has been respawned (always 0 for the
+        #: plain pool; SupervisedWorkerPool increments on recovery).
+        self.restart_counts = [0] * num_workers
+        #: Workers close() had to SIGKILL because terminate() did not
+        #: take — a wedged worker is force-reaped, not silently leaked.
+        self.forced_kills = 0
         for w in range(num_workers):  # scalar-ok: per-worker spawn
-            spec = dict(base_spec)
-            if shard_states is not None:
-                spec["state"] = shard_states[w]
-            cmd_q = self._ctx.Queue(maxsize=max(1, int(queue_batches)))
-            out_q = self._ctx.Queue()
-            proc = self._ctx.Process(
-                target=_worker_main, args=(spec, cmd_q, out_q),
-                name=f"repro-shard-{w}", daemon=True,
-            )
-            proc.start()
-            self._cmd_queues.append(cmd_q)
-            self._out_queues.append(out_q)
-            self._procs.append(proc)
+            self._spawn(w, shard_states[w] if shard_states is not None else None)
         try:
             for w in range(num_workers):  # scalar-ok: per-worker handshake
                 self._collect(w, "ready")
@@ -207,6 +222,26 @@ class WorkerPoolIngest:
         self.events_per_shard = [0] * num_workers
         self.num_insertions = 0
         self.num_deletions = 0
+
+    def _spawn(self, idx: int, state: dict | None) -> None:
+        """(Re)create worker slot ``idx``: fresh queues + process.
+
+        Fresh queues matter for *respawns*: a SIGKILL'd worker can leave a
+        partial pickle in its old pipes, and stale commands behind it, so a
+        recovered slot must never reuse them.
+        """
+        spec = dict(self._base_spec)
+        spec["state"] = state
+        cmd_q = self._ctx.Queue(maxsize=self._queue_batches)
+        out_q = self._ctx.Queue()
+        proc = self._ctx.Process(
+            target=_worker_main, args=(spec, cmd_q, out_q),
+            name=f"repro-shard-{idx}", daemon=True,
+        )
+        proc.start()
+        self._cmd_queues[idx] = cmd_q
+        self._out_queues[idx] = out_q
+        self._procs[idx] = proc
 
     # ---------------------------------------------------------------- meta
     @property
@@ -382,6 +417,8 @@ class WorkerPoolIngest:
             "mode": "parallel",
             "queue_depth": self.queue_depths(),
             "space_bits": sum(rec["space_bits"] for rec in workers),
+            "restarts": sum(self.restart_counts),
+            "forced_kills": self.forced_kills,
             "workers": [
                 {
                     "pid": rec["pid"],
@@ -391,17 +428,27 @@ class WorkerPoolIngest:
                     "batch_latency_s": round(
                         rec["busy_s"] / rec["batches"], 6
                     ) if rec["batches"] else 0.0,
+                    "exitcode": self._procs[i].exitcode,
+                    "restarts": self.restart_counts[i],
                 }
-                for rec in workers
+                for i, rec in enumerate(workers)
             ],
         }
 
     # --------------------------------------------------------------- teardown
-    def close(self, timeout: float = 30.0) -> None:
+    def close(self, timeout: float = 30.0) -> dict:
         """Stop all workers (idempotent).  Pending batches are drained first
-        — ``stop`` queues behind them — so no enqueued event is lost."""
+        — ``stop`` queues behind them — so no enqueued event is lost.
+
+        Escalates on a wedged worker: ``stop`` command → ``terminate()``
+        (SIGTERM) → ``kill()`` (SIGKILL), so ``close()`` never returns with
+        a live child, and reports what it had to do:
+        ``{"stopped": n, "terminated": n, "killed": n}`` (``killed`` also
+        accumulates into :attr:`forced_kills`).
+        """
+        report = {"stopped": 0, "terminated": 0, "killed": 0}
         if self._closed:
-            return
+            return report
         self._closed = True
         for idx, q in enumerate(self._cmd_queues):  # scalar-ok: per-worker shutdown
             if self._procs[idx].is_alive():
@@ -411,11 +458,26 @@ class WorkerPoolIngest:
                     pass
         for proc in self._procs:  # scalar-ok: per-worker join
             proc.join(timeout)
-            if proc.is_alive():  # pragma: no cover - wedged worker
-                proc.terminate()
-                proc.join(5.0)
+            if not proc.is_alive():
+                report["stopped"] += 1
+                continue
+            proc.terminate()
+            proc.join(5.0)
+            if not proc.is_alive():
+                report["terminated"] += 1
+                continue
+            # SIGTERM did not take (blocked, stopped, or wedged in C code):
+            # SIGKILL cannot be ignored.  Without this a wedged worker
+            # outlived close() silently.
+            proc.kill()
+            proc.join(5.0)
+            report["killed"] += 1
+            self.forced_kills += 1
         for q in self._cmd_queues + self._out_queues:  # scalar-ok: per-queue close
             q.close()
+            q.cancel_join_thread()
+        self.last_close_report = report
+        return report
 
     def __enter__(self) -> "WorkerPoolIngest":
         return self
@@ -428,12 +490,31 @@ class WorkerPoolIngest:
         """Enqueue one command; blocks for backpressure when the worker lags."""
         if self._closed:
             raise RuntimeError("worker pool is closed")
+        if msg[0] in ("batch", "abatch"):
+            self._maybe_inject_kill(idx)
         if not self._procs[idx].is_alive():
-            raise RuntimeError(
+            raise WorkerDied(
+                idx,
                 f"shard worker {idx} (pid {self._procs[idx].pid}) died; "
-                "restore the service from its last checkpoint"
+                "restore the service from its last checkpoint",
+                exitcode=self._procs[idx].exitcode,
             )
         self._cmd_queues[idx].put(msg)
+
+    def _maybe_inject_kill(self, idx: int) -> None:
+        """``worker.kill`` fault point (no-op without an installed plan):
+        hard = SIGKILL the shard process, soft = command it to error out
+        and exit.  The very next liveness check sees the corpse."""
+        act = fault_point("worker.kill", shard=idx, pid=self._procs[idx].pid)
+        if act is None:
+            return
+        if act.mode == "soft":
+            self._cmd_queues[idx].put(("crash",))
+        else:
+            self._procs[idx].kill()
+        # Join (briefly) so the death is observable deterministically —
+        # a hard-killed pid must be gone before the caller's next check.
+        self._procs[idx].join(5.0)
 
     def _collect(self, idx: int, want: str):
         """Wait for one tagged reply from worker ``idx``; raise on errors."""
@@ -443,8 +524,10 @@ class WorkerPoolIngest:
                 tag, payload = self._out_queues[idx].get(timeout=0.5)
             except queue_mod.Empty:
                 if not self._procs[idx].is_alive():
-                    raise RuntimeError(
-                        f"shard worker {idx} died without replying to {want!r}"
+                    raise WorkerDied(
+                        idx,
+                        f"shard worker {idx} died without replying to {want!r}",
+                        exitcode=self._procs[idx].exitcode,
                     ) from None
                 if time.monotonic() > deadline:  # pragma: no cover
                     raise TimeoutError(
@@ -453,7 +536,9 @@ class WorkerPoolIngest:
                     ) from None
                 continue
             if tag == "error":
-                raise RuntimeError(f"shard worker {idx} failed: {payload}")
+                # The worker exits right after reporting an error, so an
+                # error reply IS a death notice — typed accordingly.
+                raise WorkerDied(idx, f"shard worker {idx} failed: {payload}")
             if tag != want:  # pragma: no cover - protocol bug guard
                 raise RuntimeError(
                     f"shard worker {idx} answered {tag!r}, expected {want!r}"
