@@ -3,7 +3,8 @@
 PYTHON ?= python
 
 .PHONY: install test test-verbose bench bench-smoke bench-tenants \
-	bench-tenants-smoke chaos-smoke examples artifacts lint lint-json clean
+	bench-tenants-smoke chaos-smoke fleet-smoke examples artifacts lint \
+	lint-json clean
 
 install:
 	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -44,6 +45,14 @@ bench-tenants-smoke:
 # reference (see benchmarks/bench_service_chaos.py).
 chaos-smoke:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_service_chaos.py --smoke
+
+# CI fleet smoke: boot a real coordinator fleet — 2 `repro serve` site
+# subprocesses fed over TCP — SIGKILL site 1 mid-run, recover it from its
+# checkpoint + journal replay, and require the coordinator's merged state
+# bit-identical to a single-process reference with wire bits matching the
+# in-process E7 simulation (see benchmarks/bench_fleet.py).
+fleet-smoke:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_fleet.py --smoke
 
 examples:
 	for f in examples/*.py; do echo "== $$f"; $(PYTHON) $$f || exit 1; done

@@ -34,6 +34,7 @@ _BLOCKING_METHODS = frozenset({
     "insert", "delete", "apply_events", "query", "checkpoint", "restore",
     "restore_in_place", "stats", "overview", "evict", "close", "finalize",
     "merged_state", "update", "update_batch", "live_count",
+    "pull_state", "site_stats", "state_payload",
 })
 
 #: Blocking file/socket primitives by attribute name (any receiver).

@@ -19,6 +19,22 @@ ops are string literals compared against the ``op`` variable (or
 ``req["op"]``); client ops are literal first arguments of
 ``request(...)``/``_send_points(...)``.
 
+Protocol speech is not confined to the protocol's own directory: the
+coordinator fleet (``distributed/fleet.py``) drives sites through
+``ServiceClient`` method calls named after wire ops.  Such a file opts
+into checking with a **wire-speaker marker**::
+
+    # repro-lint: wire-speaker=<path/to/protocol.py> ops=<op,op,...>
+
+The path resolves relative to the speaking file; the ``ops=`` list is the
+file's declared wire vocabulary.  The rule cross-checks three ways: every
+declared op must still exist in the target ``OPS`` (renaming or removing
+a protocol op now fails lint at each remote call site instead of raising
+``AttributeError`` at run time); every op the file *speaks* — a
+``request(...)`` literal or an attribute named like a known op — must be
+declared; and every declared op must actually be spoken, so the marker
+cannot go stale.
+
 Codes
 -----
 WIRE401  op declared in OPS but not handled by a server (anchored at the
@@ -26,11 +42,16 @@ WIRE401  op declared in OPS but not handled by a server (anchored at the
 WIRE402  op handled or sent somewhere but missing from OPS (anchored at
          the stray literal)
 WIRE403  op declared in OPS but not reachable from the client
+WIRE404  wire-speaker drift: a marked file references an op its target
+         protocol no longer declares (or the marker's target is invalid)
+WIRE405  wire-speaker marker out of sync with the file: an op is spoken
+         but undeclared, or declared but never spoken
 """
 
 from __future__ import annotations
 
 import ast
+import re
 from pathlib import Path
 
 from repro.analysis_lint.core import Finding, Rule, load_source_file
@@ -39,6 +60,12 @@ __all__ = ["WireProtocolRule"]
 
 _SERVER_ROLES = ("aserver.py", "server.py")
 _CLIENT_ROLE = "client.py"
+
+#: ``# repro-lint: wire-speaker=<path-to-protocol.py> ops=<a,b,...>`` —
+#: declares a file outside the protocol directory as a protocol speaker.
+_SPEAKER = re.compile(
+    r"#\s*repro-lint:\s*wire-speaker=(?P<target>\S+)\s+"
+    r"ops=(?P<ops>[A-Za-z0-9_,]+)")
 
 
 def _find_ops(sf):
@@ -105,14 +132,41 @@ def _client_ops(sf) -> dict:
     return out
 
 
+def _speaker_marker(sf):
+    """The file's wire-speaker marker: (target, declared ops, line) or None."""
+    for i, line in enumerate(sf.lines, 1):
+        m = _SPEAKER.search(line)
+        if m:
+            ops = tuple(o.strip() for o in m.group("ops").split(",")
+                        if o.strip())
+            return m.group("target"), ops, i
+    return None
+
+
+def _attr_refs(sf, vocabulary) -> dict:
+    """Attribute references whose name is in ``vocabulary``: ``{op: line}``.
+
+    Catches both ``cli.pull_state()`` calls and bare method references
+    like ``fn = cli.insert`` — anything that would break if the client
+    method (named after the op) disappeared."""
+    out: dict[str, int] = {}
+    for node in ast.walk(sf.tree):
+        if isinstance(node, ast.Attribute) and node.attr in vocabulary:
+            out.setdefault(node.attr, node.lineno)
+    return out
+
+
 class WireProtocolRule(Rule):
     family = "WIRE"
     description = ("every op in protocol.OPS is handled by both servers "
-                   "and reachable from the client; no undeclared ops")
+                   "and reachable from the client; no undeclared ops; "
+                   "wire-speaker files stay in sync with their protocol")
     codes = {
         "WIRE401": "op declared in OPS but unhandled by a server",
         "WIRE402": "op handled/sent but missing from protocol OPS",
         "WIRE403": "op declared in OPS but not reachable from the client",
+        "WIRE404": "wire-speaker references an op absent from its protocol",
+        "WIRE405": "wire-speaker marker out of sync with the ops spoken",
     }
     is_project_rule = True
 
@@ -130,7 +184,60 @@ class WireProtocolRule(Rule):
                 continue
             findings.extend(self._check_group(directory, members, proto,
                                               *declared))
+        for sf in files:
+            marker = _speaker_marker(sf)
+            if marker is not None:
+                findings.extend(self._check_speaker(sf, *marker))
         return findings
+
+    def _check_speaker(self, sf, target, declared, marker_line):
+        """Cross-check one wire-speaker file against its target protocol."""
+        path = (sf.path.parent / target).resolve()
+        proto = None
+        if path.is_file():
+            loaded = load_source_file(path)
+            if not isinstance(loaded, Finding):
+                proto = loaded
+        found = _find_ops(proto) if proto is not None else None
+        if found is None:
+            yield Finding(
+                path=sf.rel, line=marker_line, col=0, code="WIRE404",
+                message=f"wire-speaker target {target!r} is not a readable "
+                        "protocol module with an OPS tuple")
+            return
+        ops = set(found[0])
+        for op in declared:
+            if op not in ops:
+                yield Finding(
+                    path=sf.rel, line=marker_line, col=0, code="WIRE404",
+                    message=f"wire-speaker declares op '{op}' which "
+                            f"{target} no longer lists in OPS — this "
+                            "file's call sites have drifted from the "
+                            "protocol vocabulary")
+        spoken = _attr_refs(sf, ops | set(declared))
+        for op, line in _client_ops(sf).items():
+            spoken.setdefault(op, line)
+            if op not in ops:
+                yield Finding(
+                    path=sf.rel, line=line, col=0, code="WIRE404",
+                    message=f"wire-speaker sends op '{op}' which is not "
+                            f"declared in {target} OPS — the server will "
+                            "reject it as unknown")
+        for op, line in sorted(spoken.items()):
+            if op not in declared:
+                yield Finding(
+                    path=sf.rel, line=line, col=0, code="WIRE405",
+                    message=f"file speaks op '{op}' but its wire-speaker "
+                            "marker does not declare it; add it to the "
+                            "marker's ops= list so protocol drift checks "
+                            "cover this call site")
+        for op in declared:
+            if op in ops and op not in spoken:
+                yield Finding(
+                    path=sf.rel, line=marker_line, col=0, code="WIRE405",
+                    message=f"wire-speaker declares op '{op}' but the file "
+                            "never speaks it; drop it from the marker's "
+                            "ops= list")
 
     def _sibling(self, directory, members, name):
         """A role file: from the scanned set, else loaded from disk (so

@@ -12,8 +12,12 @@ Subcommands
 ``info``       print a saved coreset's provenance
 ``serve``      run the long-lived clustering service (JSON-lines TCP; async
                multi-tenant by default, threaded single-tenant via --sync)
+``coordinator`` pull and merge a fleet of site servers over the wire
+               (--sites host:port,... attaches to running sites;
+               --sites spawn:N launches, feeds, and verifies a local fleet)
 ``client``     talk to a running service (insert/delete/query/checkpoint/
-               tenants/...; --stream addresses a named tenant)
+               pull_state/site_stats/tenants/...; --stream addresses a
+               named tenant)
 ``lint``       project-specific static analysis (determinism, hot-path,
                async-safety, wire-protocol invariants); exit code 0 clean /
                1 findings / 2 usage error
@@ -114,6 +118,9 @@ def build_parser() -> argparse.ArgumentParser:
                           "over-long frames get an error envelope")
     srv.add_argument("--backend", choices=["exact", "sketch"], default="exact")
     srv.add_argument("--capacity-slack", type=float, default=1.2)
+    srv.add_argument("--restarts", type=int, default=2,
+                     help="k-means restarts per query solve (fleet sites "
+                          "must match the coordinator's reference exactly)")
     srv.add_argument("--seed", type=int, default=7)
     srv.add_argument("--restore", default=None, metavar="CKPT",
                      help="start from a checkpoint instead of empty state "
@@ -142,9 +149,49 @@ def build_parser() -> argparse.ArgumentParser:
                           "serving; the REPRO_FAULT_PLAN environment "
                           "variable is the no-flag equivalent")
 
+    coord = sub.add_parser(
+        "coordinator",
+        help="pull and merge a fleet of site servers (Theorem 4.7 for real)")
+    coord.add_argument("--sites", required=True, metavar="ADDRS|spawn:N",
+                       help="comma-separated host:port site addresses to "
+                            "attach to, or 'spawn:N' to launch N local "
+                            "site processes, feed them a partitioned "
+                            "synthetic stream, and verify the merge "
+                            "against a single-process reference")
+    coord.add_argument("--stream", default=None, metavar="ID",
+                       help="stream_id of the tenant to pull on every site "
+                            "(default: each site's 'default' tenant)")
+    coord.add_argument("--stats-only", action="store_true",
+                       help="poll site_stats and stop (no pull, no merge)")
+    coord.add_argument("--k", type=int, default=4)
+    coord.add_argument("--d", type=int, default=2)
+    coord.add_argument("--delta", type=int, default=256)
+    coord.add_argument("--shards", type=int, default=4)
+    coord.add_argument("--backend", choices=["exact", "sketch"],
+                       default="exact")
+    coord.add_argument("--seed", type=int, default=7)
+    coord.add_argument("--n", type=int, default=4000,
+                       help="spawn mode: synthetic stream size")
+    coord.add_argument("--points", default=None,
+                       help="spawn mode: feed this .npy instead of "
+                            "generating --n synthetic points")
+    coord.add_argument("--delete-fraction", type=float, default=0.2,
+                       help="spawn mode: churn fraction per site share")
+    coord.add_argument("--batch-size", type=int, default=512)
+    coord.add_argument("--partition", choices=["random", "skewed"],
+                       default="random",
+                       help="spawn mode: how the stream is split over sites")
+    coord.add_argument("--no-verify", action="store_true",
+                       help="spawn mode: skip the single-process reference "
+                            "and bit-accounting cross-checks")
+    coord.add_argument("--fault-plan", default=None, metavar="PLAN",
+                       help="spawn mode: install a fault plan in the fleet "
+                            "driver (e.g. site.kill rules) before feeding")
+
     c = sub.add_parser("client", help="send one request to a running service")
     c.add_argument("op", choices=["ping", "insert", "delete", "query",
-                                  "checkpoint", "restore", "stats", "tenants",
+                                  "checkpoint", "restore", "pull_state",
+                                  "site_stats", "stats", "tenants",
                                   "shutdown"])
     c.add_argument("--host", default="127.0.0.1")
     c.add_argument("--port", type=int, default=7071)
@@ -311,7 +358,7 @@ def _cmd_serve(args) -> int:
         k=args.k, d=args.d, delta=args.delta, r=args.r, eps=args.eps,
         eta=args.eta, num_shards=args.shards, workers=args.workers,
         seed=args.seed, backend=args.backend,
-        capacity_slack=args.capacity_slack,
+        capacity_slack=args.capacity_slack, restarts=args.restarts,
     )
     max_bytes = args.max_request_mb * 1024 * 1024
     if args.sync:
@@ -342,6 +389,87 @@ def _cmd_serve(args) -> int:
                         max_live_tenants=args.max_live_tenants,
                         quota=quota, restore_path=args.restore,
                         max_request_bytes=max_bytes)
+    return 0
+
+
+def _parse_sites(spec: str) -> tuple[int | None, list[tuple[str, int]]]:
+    """``spawn:N`` → (N, []); ``host:port,host:port`` → (None, addresses)."""
+    spec = spec.strip()
+    if spec.startswith("spawn:"):
+        n = int(spec.split(":", 1)[1])
+        if n < 1:
+            raise ValueError(f"spawn count must be >= 1, got {n}")
+        return n, []
+    addrs = []
+    for part in spec.split(","):
+        host, _, port = part.strip().rpartition(":")
+        if not host or not port.isdigit():
+            raise ValueError(f"bad site address {part!r}; want host:port")
+        addrs.append((host, int(port)))
+    return None, addrs
+
+
+def _cmd_coordinator(args) -> int:
+    import json
+
+    from repro.distributed.fleet import Coordinator, run_fleet
+    from repro.service import ServiceConfig, faults
+
+    spawn_n, addrs = _parse_sites(args.sites)
+    if spawn_n is not None:
+        if args.fault_plan:
+            plan = faults.install(faults.load_plan(args.fault_plan))
+            print(f"fault plan installed: {len(plan.rules)} rule(s), "
+                  f"seed={plan.seed}", flush=True)
+        config = ServiceConfig(k=args.k, d=args.d, delta=args.delta,
+                               num_shards=args.shards, seed=args.seed,
+                               backend=args.backend)
+        if args.points:
+            pts = np.load(args.points)
+        else:
+            from repro.data.synthetic import gaussian_mixture
+
+            pts = np.unique(gaussian_mixture(args.n, args.d, args.delta,
+                                             args.k, seed=args.seed), axis=0)
+        print(f"spawning {spawn_n} site processes for {len(pts)} points "
+              f"({args.partition} partition)", flush=True)
+        report = run_fleet(config, pts, spawn_n,
+                           partition_seed=args.seed, mode=args.partition,
+                           batch_size=args.batch_size,
+                           delete_fraction=args.delete_fraction,
+                           stream_id=args.stream,
+                           verify=not args.no_verify)
+        rows = [[key, report[key]] for key in
+                ("sites", "events", "batches", "events_per_s", "recoveries",
+                 "restarts", "uplink_bits", "downlink_bits", "messages")]
+        for key in ("state_identical", "answer_identical",
+                    "bits_match_simulation", "passed"):
+            if key in report:
+                rows.append([key, report[key]])
+        print(render_table("fleet run", ["field", "value"], rows))
+        if not args.no_verify and not report.get("passed"):
+            return 1
+        return 0
+
+    with Coordinator(addrs, stream_id=args.stream) as coord:
+        stats = coord.poll_site_stats()
+        print(render_table(
+            "sites",
+            ["site", "events", "insertions", "deletions", "version",
+             "space_bits"],
+            [[j, s["events"], s["insertions"], s["deletions"], s["version"],
+              s["space_bits"]] for j, s in enumerate(stats)]))
+        if args.stats_only:
+            return 0
+        merged = coord.merged_service()
+        try:
+            result, _ = merged.query()
+            print(json.dumps(result.to_dict(), indent=2))
+        finally:
+            merged.close()
+        net = coord.network
+        print(f"communication: up {net.uplink_bits} bits, "
+              f"down {net.downlink_bits} bits, {net.messages} messages")
     return 0
 
 
@@ -379,6 +507,24 @@ def _cmd_client(args) -> int:
         if args.op == "stats":
             print(json.dumps(cli.stats(), indent=2))
             return 0
+        if args.op == "site_stats":
+            print(json.dumps(cli.site_stats(), indent=2))
+            return 0
+        if args.op == "pull_state":
+            state = cli.pull_state()
+            if args.path:
+                with open(args.path, "w", encoding="utf-8") as fh:
+                    json.dump(state, fh)
+                print(f"pulled state ({state['ingest']['num_shards']} shards, "
+                      f"version {state['ingest']['version']}) -> {args.path}")
+            else:
+                print(json.dumps({k: state[k] for k in ("format_version",
+                                                        "config", "counters")},
+                                 indent=2))
+                print(f"ingest: {state['ingest']['num_shards']} shards, "
+                      f"version {state['ingest']['version']} "
+                      f"(use --path FILE to save the full state)")
+            return 0
         if args.op == "tenants":
             rows = [[t["stream_id"], "yes" if t.get("live") else "no",
                      t.get("events", "?"), t.get("version", "?"),
@@ -412,6 +558,7 @@ def main(argv=None) -> int:
         "solve": _cmd_solve,
         "info": _cmd_info,
         "serve": _cmd_serve,
+        "coordinator": _cmd_coordinator,
         "client": _cmd_client,
         "lint": _cmd_lint,
     }[args.command](args)

@@ -7,7 +7,14 @@ communication flows machine ↔ coordinator and is charged in bits.
   exact bit accounting;
 - :mod:`repro.distributed.protocol` — the Lemma 4.6 Storing protocol and
   the Theorem 4.7 driver producing a strong coreset at the coordinator with
-  s·poly(ε⁻¹η⁻¹kd·logΔ) bits of communication.
+  s·poly(ε⁻¹η⁻¹kd·logΔ) bits of communication;
+- :mod:`repro.distributed.fleet` — the *real* deployment of the same
+  protocol shape: one ``repro serve`` process per site, a
+  :class:`~repro.distributed.fleet.Coordinator` pulling serialized sketch
+  states over the wire protocol and merging them by linearity, with the
+  identical bit accounting (import it explicitly; it is kept out of this
+  package's eager imports so simulation-only users don't load the whole
+  service stack).
 """
 
 from repro.distributed.network import Network, Machine

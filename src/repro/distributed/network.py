@@ -75,6 +75,13 @@ class Network:
         self.log.append(("up", machine_id, label, int(bits)))
         return payload
 
+    def send_down(self, machine_id: int, payload, bits: int, label: str = ""):
+        """Coordinator → one machine (unicast, e.g. a fleet request frame)."""
+        self.downlink_bits += int(bits)
+        self.messages += 1
+        self.log.append(("down", machine_id, label, int(bits)))
+        return payload
+
     def broadcast(self, payload, bits: int, label: str = ""):
         """Coordinator → all machines; charged once per machine."""
         self.downlink_bits += int(bits) * self.s

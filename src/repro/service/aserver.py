@@ -197,8 +197,10 @@ class AsyncClusteringServer:
             # One hop off the loop for both registry reads: overview() and
             # live_count() take the registry lock, which an evicting thread
             # may hold while checkpointing a tenant to disk.
+            live_only = bool(req.get("live_only", False))
+
             def _tenants_payload():
-                return registry.overview(), registry.live_count()
+                return registry.overview(live_only=live_only), registry.live_count()
 
             rows, live = await asyncio.to_thread(_tenants_payload)
             return ok_response(
@@ -243,6 +245,14 @@ class AsyncClusteringServer:
             info = await asyncio.to_thread(
                 registry.restore, stream_id, req["path"])
             return ok_response(stream_id=stream_id, **info), False
+        if op == "pull_state":
+            # Coordinator-fleet read: the tenant's full checkpoint envelope,
+            # serialized in the reply instead of written to disk.
+            state = await asyncio.to_thread(registry.pull_state, stream_id)
+            return ok_response(stream_id=stream_id, state=state), False
+        if op == "site_stats":
+            site = await asyncio.to_thread(registry.site_stats, stream_id)
+            return ok_response(stream_id=stream_id, site=site), False
         if op == "stats":
             stats = await asyncio.to_thread(registry.stats, stream_id)
             plan = active_plan()

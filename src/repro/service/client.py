@@ -249,9 +249,24 @@ class ServiceClient:
         """Operational counters (version, events, cache hits, space)."""
         return self.request("stats")["stats"]
 
-    def tenants(self) -> list[dict]:
-        """Summaries of every known stream (live and evicted-to-disk)."""
-        return self.request("tenants")["tenants"]
+    def pull_state(self) -> dict:
+        """The tenant's full serialized sketch state (checkpoint envelope).
+
+        The coordinator-fleet read: read-only and retry-safe, so a pull
+        interrupted by a reset just re-pulls on a fresh connection.
+        """
+        return self.request("pull_state")["state"]
+
+    def site_stats(self) -> dict:
+        """The tenant's fixed-vocabulary site counters (fleet polling op)."""
+        return self.request("site_stats")["site"]
+
+    def tenants(self, live_only: bool = False) -> list[dict]:
+        """Summaries of every known stream (live and evicted-to-disk);
+        ``live_only=True`` asks only for resident tenants — O(live) on the
+        server however many cold tenants its disk knows."""
+        fields = {"live_only": True} if live_only else {}
+        return self.request("tenants", **fields)["tenants"]
 
     def shutdown(self) -> None:
         """Stop the server (the connection closes afterwards)."""

@@ -230,15 +230,18 @@ class ClusteringService:
         return result, False
 
     # ----------------------------------------------------------- persistence
-    def checkpoint(self, path, extra: dict | None = None) -> dict:
-        """Atomically persist config + full shard state + version to disk.
+    def state_payload(self, extra: dict | None = None) -> dict:
+        """The full checkpoint envelope as a JSON-safe dict (no disk I/O).
 
-        With a worker pool this drains the workers first (their ``state``
-        requests queue behind all pending batches), then reuses the same
-        atomic snapshot path as the in-process backend — the two backends'
-        checkpoints are interchangeable.  ``extra`` keys are merged into the
-        envelope (the tenant registry stamps its stream id this way); they
-        must not collide with the envelope's own fields.
+        This is the one serialization of a live service: ``checkpoint``
+        writes it to disk, and the ``pull_state`` wire op ships it to a
+        fleet coordinator — the checkpoint format doubling as the transfer
+        encoding, so anything that can restore a checkpoint can merge a
+        pulled site state.  With a worker pool, building the payload drains
+        the workers first (their ``state`` requests queue behind all pending
+        batches).  ``extra`` keys are merged into the envelope (the tenant
+        registry stamps its stream id this way); they must not collide with
+        the envelope's own fields.
         """
         with self._lock:
             payload = {
@@ -253,7 +256,32 @@ class ClusteringService:
                     raise ValueError(
                         f"checkpoint extra keys collide with envelope: {sorted(overlap)}")
                 payload.update(extra)
-            write_checkpoint(path, payload)
+            return payload
+
+    def site_stats(self) -> dict:
+        """Lightweight counters a fleet coordinator polls between pulls.
+
+        Deliberately a fixed, small vocabulary (unlike :meth:`stats`): the
+        fleet charges each ``site_stats`` reply a constant number of bits,
+        so the payload must stay a handful of scalar counters.
+        """
+        with self._lock:
+            ingest = self.ingest
+            return {
+                "version": ingest.version,
+                "events": ingest.num_events,
+                "insertions": ingest.num_insertions,
+                "deletions": ingest.num_deletions,
+                "num_shards": ingest.num_shards,
+                "space_bits": ingest.space_bits(),
+            }
+
+    def checkpoint(self, path, extra: dict | None = None) -> dict:
+        """Atomically persist config + full shard state + version to disk
+        (the :meth:`state_payload` envelope via
+        :func:`~repro.service.state.write_checkpoint`)."""
+        with self._lock:
+            write_checkpoint(path, self.state_payload(extra=extra))
             return {"path": str(path), "version": self.ingest.version,
                     "events": self.ingest.num_events}
 

@@ -38,6 +38,10 @@ recovery" for the full table):
 ``server.slow``     the reply is delayed by ``delay_s`` seconds
 ``checkpoint.write``the checkpoint write raises ``OSError`` before any
                     bytes reach disk (the previous checkpoint survives)
+``site.kill``       fleet driver: before a batch is sent to a site, the
+                    site's ``repro serve`` process is SIGKILLed
+                    (``match={"site": j}``); the feeder recovers it from
+                    checkpoint + journal replay (distributed/fleet.py)
 ================== ========================================================
 """
 

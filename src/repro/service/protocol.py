@@ -56,9 +56,14 @@ MAX_LINE_BYTES = 64 * 1024 * 1024
 #: :data:`MAX_LINE_BYTES` backstop.
 DEFAULT_MAX_REQUEST_BYTES = 8 * 1024 * 1024
 
-#: The operations the service exposes.
+#: The operations the service exposes.  ``pull_state`` and ``site_stats``
+#: are the coordinator-fleet ops (:mod:`repro.distributed.fleet`): a
+#: coordinator polls ``site_stats`` for a site's lightweight counters and
+#: pulls the site's full serialized sketch state — the checkpoint envelope,
+#: reused as the transfer encoding — with ``pull_state``, then merges the
+#: states by sketch linearity.
 OPS = ("ping", "insert", "delete", "query", "checkpoint", "restore",
-       "stats", "tenants", "shutdown")
+       "pull_state", "site_stats", "stats", "tenants", "shutdown")
 
 #: Tenant addressed by requests that carry no ``stream_id`` field.
 DEFAULT_STREAM_ID = "default"

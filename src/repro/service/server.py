@@ -176,6 +176,14 @@ class ClusteringServer(socketserver.ThreadingTCPServer):
             service.restore_in_place(req["path"])
             return ok_response(version=service.ingest.version,
                                events=service.ingest.num_events), False
+        if op == "pull_state":
+            # Coordinator-fleet read: the full checkpoint envelope in the
+            # reply instead of on disk, same encoding either way.
+            return ok_response(stream_id=DEFAULT_STREAM_ID,
+                               state=service.state_payload()), False
+        if op == "site_stats":
+            site = dict(service.site_stats(), stream_id=DEFAULT_STREAM_ID)
+            return ok_response(stream_id=DEFAULT_STREAM_ID, site=site), False
         if op == "stats":
             stats = service.stats()
             plan = active_plan()

@@ -163,6 +163,12 @@ class TenantRegistry:
         self.quota = quota
         self._policy = policy if policy is not None else LRUEvictionPolicy()
         self._records: dict[str, _TenantRecord] = {}
+        #: Live-tenant index: exactly the records whose ``service`` is
+        #: resident.  Kept in lockstep with every load/evict/close
+        #: transition so the eviction victim scan and ``live_count`` are
+        #: O(live tenants), not O(known tenants) — with thousands of cold
+        #: tenants on disk, scanning ``_records`` per lease would dominate.
+        self._live: dict[str, _TenantRecord] = {}
         self._lock = threading.RLock()
         self._closed = False
         self._breaker_threshold = int(breaker_threshold)
@@ -257,6 +263,8 @@ class TenantRegistry:
             rec.restores += 1
         else:
             rec.service = ClusteringService(self.tenant_config(rec.stream_id))
+        with self._lock:
+            self._live[rec.stream_id] = rec
 
     # ------------------------------------------------------------- eviction
     def _make_room(self, exclude: str) -> None:
@@ -268,13 +276,13 @@ class TenantRegistry:
         failed: set[str] = set()  # victims whose checkpoint write failed this pass
         while True:
             with self._lock:
-                live = sum(1 for r in self._records.values()
-                           if r.service is not None)
-                excess = live - self.max_live_tenants + 1
-                evictable = [r.stream_id for r in self._records.values()
-                             if r.service is not None and r.pins == 0
-                             and r.stream_id != exclude
-                             and r.stream_id not in failed]
+                # O(live): only the live index is scanned, never the full
+                # record map — with 1000 known tenants and a budget of 4,
+                # this loop touches 4 records, not 1000.
+                excess = len(self._live) - self.max_live_tenants + 1
+                evictable = [sid for sid, r in self._live.items()
+                             if r.pins == 0 and sid != exclude
+                             and sid not in failed]
                 victims = self._policy.victims(evictable, excess)
                 if not victims:
                     return
@@ -323,6 +331,7 @@ class TenantRegistry:
         with self._lock:
             # Recency bookkeeping for a cold tenant is dead weight; its
             # next touch re-registers it.
+            self._live.pop(rec.stream_id, None)
             self._policy.forget(rec.stream_id)
 
     def evict(self, stream_id: str) -> bool:
@@ -422,6 +431,28 @@ class TenantRegistry:
             })
             return stats
 
+    def pull_state(self, stream_id: str) -> dict:
+        """One tenant's full serialized sketch state (wire ``pull_state``).
+
+        Returns the checkpoint envelope as a dict — exactly what
+        :meth:`checkpoint` would write to disk, stamped with the same tenant
+        metadata — so a coordinator that pulls it can feed it straight to
+        the restore path or merge it by linearity
+        (:mod:`repro.distributed.fleet`)."""
+        with self._lease(stream_id) as rec:
+            return rec.service.state_payload(
+                extra={"tenant": {"stream_id": rec.stream_id,
+                                  "evictions": rec.evictions}})
+
+    def site_stats(self, stream_id: str) -> dict:
+        """One tenant's fixed-vocabulary site counters (wire ``site_stats``).
+
+        Unlike :meth:`stats`, the reply is a small constant set of numeric
+        fields, so the fleet's bit accounting can charge a known constant
+        per poll (see ``repro.distributed.fleet.SITE_STATS_FIELDS``)."""
+        with self._lease(stream_id) as rec:
+            return dict(rec.service.site_stats(), stream_id=rec.stream_id)
+
     def checkpoint(self, stream_id: str, path) -> dict:
         """Checkpoint one tenant to an explicit path (wire ``checkpoint``)."""
         with self._lease(stream_id) as rec:
@@ -439,19 +470,26 @@ class TenantRegistry:
 
     # ------------------------------------------------------------- overview
     def live_count(self) -> int:
-        """Number of tenants currently resident in memory."""
+        """Number of tenants currently resident in memory (O(1): the live
+        index is maintained on every load/evict transition)."""
         with self._lock:
-            return sum(1 for r in self._records.values()
-                       if r.service is not None)
+            return len(self._live)
 
-    def overview(self) -> list[dict]:
+    def overview(self, live_only: bool = False) -> list[dict]:
         """One summary row per known tenant — live ones from their in-memory
         counters, evicted ones from the registry's last-known snapshot, and
         on-disk tenants this process has never touched as bare stubs.  Never
-        loads a cold tenant."""
+        loads a cold tenant.
+
+        ``live_only=True`` reads just the live index — O(live tenants),
+        regardless of how many cold tenants are known or on disk — which is
+        what dashboards polling a server with thousands of cold tenants
+        should ask for (wire: ``{"op": "tenants", "live_only": true}``).
+        """
         rows: dict[str, dict] = {}
         with self._lock:
-            for sid, rec in sorted(self._records.items()):
+            source = self._live if live_only else self._records
+            for sid, rec in sorted(source.items()):
                 service = rec.service
                 if service is not None:
                     row = {
@@ -471,7 +509,7 @@ class TenantRegistry:
                     row["degraded"] = snap["state"] != "closed"
                     row["breaker"] = snap
                 rows[sid] = row
-        if self.tenants_dir is not None:
+        if self.tenants_dir is not None and not live_only:
             for path in sorted(self.tenants_dir.iterdir()):
                 sid = tenant_id_from_filename(path.name)
                 if sid is not None and sid not in rows:
@@ -500,6 +538,8 @@ class TenantRegistry:
                 else:
                     rec.service.close()
                     rec.service = None
+                    with self._lock:
+                        self._live.pop(rec.stream_id, None)
 
     def __enter__(self) -> "TenantRegistry":
         return self

@@ -16,7 +16,7 @@ from __future__ import annotations
 from repro.streaming.storing import ExactStoring, SketchStoring
 from repro.streaming.streaming_coreset import StreamingCoreset
 
-__all__ = ["merge_streaming_states", "merge_storing"]
+__all__ = ["merge_many", "merge_streaming_states", "merge_storing"]
 
 
 def merge_storing(a, b):
@@ -77,3 +77,20 @@ def merge_streaming_states(a: StreamingCoreset, b: StreamingCoreset) -> Streamin
             _add_iblt(sa, sb)
     a.num_updates += b.num_updates
     return a
+
+
+def merge_many(states) -> StreamingCoreset:
+    """Fold a sequence of compatible drivers into the first one (in place).
+
+    The fleet fan-in: the coordinator merges one pulled site state per
+    site.  Addition of linear sketches is associative and commutative, so
+    any fold order — and any site arrival order — yields the same result;
+    the fleet property tests assert this bit for bit.
+    """
+    states = list(states)
+    if not states:
+        raise ValueError("need at least one state to merge")
+    acc = states[0]
+    for other in states[1:]:  # scalar-ok: per-site fan-in, not data plane
+        acc = merge_streaming_states(acc, other)
+    return acc

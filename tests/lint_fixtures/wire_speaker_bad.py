@@ -1,0 +1,16 @@
+"""Fixture: a wire-speaker whose marker has drifted every way at once.
+
+Expected findings:
+- WIRE404 at the marker: ``flush`` is declared but not in the protocol OPS.
+- WIRE404 at the ``request("teleport")`` literal: op unknown to the server.
+- WIRE405 at ``cli.query()``: spoken but missing from the marker's ops list.
+- WIRE405 at the teleport literal: spoken but undeclared.
+- WIRE405 at the marker: ``ping`` is declared but never spoken.
+"""
+# repro-lint: wire-speaker=wire_good/protocol.py ops=ping,flush
+
+
+class Driver:
+    def poll(self, cli):
+        cli.query()
+        return cli.request("teleport")

@@ -1,0 +1,8 @@
+"""Fixture: a wire-speaker file in sync with its target protocol."""
+# repro-lint: wire-speaker=wire_good/protocol.py ops=ping,query
+
+
+class Driver:
+    def poll(self, cli):
+        cli.ping()
+        return cli.query()

@@ -116,6 +116,32 @@ class TestWireProtocolRule:
                           select=["WIRE"], root=ROOT)
         assert result.clean, "\n".join(f.render() for f in result.findings)
 
+    def test_speaker_good_is_clean(self):
+        assert lint("wire_speaker_good.py").clean
+
+    def test_speaker_bad_reports_every_drift_kind(self):
+        result = lint("wire_speaker_bad.py")
+        assert {"WIRE404", "WIRE405"} <= codes(result)
+        messages = "\n".join(f.message for f in result.findings)
+        assert "'flush'" in messages      # declared, absent from protocol OPS
+        assert "'teleport'" in messages   # sent literal unknown to the server
+        assert "'query'" in messages      # spoken but not declared
+        assert "'ping'" in messages       # declared but never spoken
+
+    def test_speaker_bad_target_is_a_finding(self, tmp_path):
+        speaker = tmp_path / "speaker.py"
+        speaker.write_text(  # split so this literal is not itself a marker
+            "# repro-lint: " + "wire-speaker" + "=nowhere/protocol.py"
+            + " ops=ping\n")
+        result = run_lint([speaker], select=["WIRE"], root=ROOT)
+        assert codes(result) == {"WIRE404"}
+        assert "not a readable protocol" in result.findings[0].message
+
+    def test_real_fleet_speaker_is_clean(self):
+        result = run_lint([ROOT / "src/repro/distributed/fleet.py"],
+                          select=["WIRE"], root=ROOT)
+        assert result.clean, "\n".join(f.render() for f in result.findings)
+
 
 # ------------------------------------------------------------- suppressions
 class TestSuppressions:

@@ -352,6 +352,56 @@ class TestAsyncWire:
 
 
 # --------------------------------------------------------------------------
+class TestThousandKnownTenants:
+    """O(live) scans: 1000 known-but-cold tenants must cost nothing."""
+
+    def test_overview_and_eviction_scan_are_o_live(self, tmp_path):
+        reg = TenantRegistry(cheap_config(), tenants_dir=tmp_path,
+                             max_live_tenants=4)
+        # 1000 cold tenants known only from their on-disk checkpoints.  The
+        # payloads are deliberately invalid JSON, so if any code path loads
+        # (or even reads) a cold tenant, the test fails loudly.
+        for i in range(1000):
+            path = tmp_path / tenant_checkpoint_filename(f"cold-{i:04d}")
+            path.write_text("!not json!")
+
+        # Spy on the eviction policy: the candidate list handed to it must
+        # be the *live* population (<= budget + 1 pinned), never the 1000
+        # known tenants.
+        scans: list[int] = []
+        orig_victims = reg._policy.victims
+
+        def spying_victims(evictable, excess):
+            scans.append(len(evictable))
+            return orig_victims(evictable, excess)
+
+        reg._policy.victims = spying_victims
+        try:
+            for i in range(6):  # 6 tenants through a budget of 4: evicts
+                reg.insert(f"hot-{i}", stream_points(f"hot-{i}", n=4))
+        finally:
+            reg._policy.victims = orig_victims
+
+        assert reg.live_count() == 4
+        assert scans, "eviction never consulted the policy"
+        assert max(scans) <= 5, \
+            f"victim scan saw {max(scans)} candidates; should be O(live)"
+
+        # live_only overview: exactly the resident tenants, no disk scan.
+        live = reg.overview(live_only=True)
+        assert len(live) == 4
+        assert all(row["live"] for row in live)
+        assert not any(row["stream_id"].startswith("cold-") for row in live)
+
+        # Full overview still enumerates all 1006 known tenants (6 touched
+        # + 1000 disk stubs) without loading any of them.
+        full = reg.overview()
+        assert len(full) == 1006
+        assert sum(row["live"] for row in full) == 4
+        reg.close(persist=False)
+
+
+# --------------------------------------------------------------------------
 class TestHundredStreams:
     """The acceptance bar for the multi-tenant subsystem."""
 
